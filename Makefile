@@ -1,0 +1,45 @@
+# SieveStore reproduction — common developer targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments fuzz fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/appliance/ ./internal/store/ ./internal/replay/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# One benchmark per paper table/figure plus hot-path micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full evaluation at the default reproduction scale (minutes).
+experiments:
+	$(GO) run ./cmd/experiments | tee experiments_output.txt
+
+# Quick evaluation pass.
+experiments-quick:
+	$(GO) run ./cmd/experiments -scale 4096 -skip-sweeps
+
+fuzz:
+	$(GO) test ./internal/trace/ -fuzz FuzzBinaryReader -fuzztime 30s -run XXX
+	$(GO) test ./internal/trace/ -fuzz FuzzCSVReader -fuzztime 30s -run XXX
+	$(GO) test ./internal/core/ -fuzz FuzzLoadSnapshot -fuzztime 30s -run XXX
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

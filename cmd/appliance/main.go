@@ -1,0 +1,161 @@
+// Command appliance runs SieveStore as a standalone TCP block-caching
+// appliance daemon (the paper's deployment model, Figure 4): block I/O from
+// ensemble servers arrives over the wire, popular blocks are served from
+// the cache, everything else is forwarded to the backing store.
+//
+// The demo backend is the in-memory ensemble; swapping in a real backend
+// means implementing core.Backend. The cache survives restarts via a
+// snapshot written on SIGINT/SIGTERM and loaded at boot.
+//
+// Usage:
+//
+//	appliance -listen :9000 -cache-mb 64 -servers 4 -volume-mb 1024
+//	appliance -listen :9000 -variant d -epoch 24h -snapshot /var/lib/sieve.snap
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/appliance"
+	"repro/internal/core"
+	"repro/internal/sieve"
+	"repro/internal/store"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("appliance: ")
+	var (
+		listen    = flag.String("listen", "127.0.0.1:9000", "TCP listen address")
+		cacheMB   = flag.Int64("cache-mb", 64, "cache size in MiB")
+		variant   = flag.String("variant", "c", "sieve variant: c or d")
+		epoch     = flag.Duration("epoch", 24*time.Hour, "SieveStore-D epoch length")
+		threshold = flag.Int64("threshold", 10, "SieveStore-D epoch access-count threshold")
+		writeBack = flag.Bool("writeback", false, "enable write-back caching")
+		snapshot  = flag.String("snapshot", "", "snapshot file: loaded at boot if present, written on shutdown")
+		spillDir  = flag.String("spill", "", "SieveStore-D spill directory (resumed across restarts)")
+		servers   = flag.Int("servers", 4, "demo backend: number of servers")
+		volumeMB  = flag.Int64("volume-mb", 1024, "demo backend: per-server volume size in MiB")
+		dataDir   = flag.String("data", "", "back volumes with sparse files under this directory (empty: in-memory)")
+		statsEach = flag.Duration("stats", time.Minute, "stats logging interval (0 disables)")
+	)
+	flag.Parse()
+
+	var backend core.Backend
+	if *dataDir != "" {
+		fb, err := store.NewFile(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fb.Close()
+		for s := 0; s < *servers; s++ {
+			if err := fb.AddVolume(s, 0, uint64(*volumeMB)<<20); err != nil {
+				log.Fatal(err)
+			}
+		}
+		backend = fb
+	} else {
+		mem := store.NewMem()
+		for s := 0; s < *servers; s++ {
+			mem.AddVolume(s, 0, uint64(*volumeMB)<<20)
+		}
+		backend = mem
+	}
+
+	opts := core.Options{
+		CacheBytes: *cacheMB << 20,
+		WriteBack:  *writeBack,
+	}
+	switch *variant {
+	case "c":
+		opts.Variant = core.VariantC
+		opts.SieveC = sieve.DefaultCConfig()
+	case "d":
+		opts.Variant = core.VariantD
+		opts.Epoch = *epoch
+		opts.DThreshold = *threshold
+		opts.SpillDir = *spillDir
+	default:
+		log.Fatalf("unknown variant %q", *variant)
+	}
+	st, err := core.Open(backend, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if err := st.LoadSnapshot(f); err != nil {
+				log.Printf("snapshot load failed (starting cold): %v", err)
+			} else {
+				log.Printf("warm start: %d blocks restored", st.Stats().CachedBlocks)
+			}
+			f.Close()
+		}
+	}
+
+	srv := appliance.NewServer(st)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*listen) }()
+	log.Printf("%s serving on %s (cache %d MiB, %d servers × %d MiB, write-back=%v)",
+		st.Variant(), *listen, *cacheMB, *servers, *volumeMB, *writeBack)
+
+	if *statsEach > 0 {
+		go func() {
+			for range time.Tick(*statsEach) {
+				s := st.Stats()
+				log.Printf("stats: accesses=%d hit=%.1f%% cached=%d/%d dirty=%d allocW=%d epochs=%d",
+					s.Reads+s.Writes, 100*s.HitRatio(), s.CachedBlocks, s.CapacityBlocks,
+					s.DirtyBlocks, s.AllocWrites, s.Epochs)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatalf("serve: %v", err)
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+	}
+
+	if err := srv.Close(); err != nil {
+		log.Printf("server close: %v", err)
+	}
+	if *snapshot != "" {
+		if err := writeSnapshot(st, *snapshot); err != nil {
+			log.Printf("snapshot save failed: %v", err)
+		} else {
+			log.Printf("snapshot saved to %s", *snapshot)
+		}
+	}
+	if err := st.Close(); err != nil {
+		log.Printf("store close: %v", err)
+	}
+}
+
+// writeSnapshot saves atomically via a temp file + rename.
+func writeSnapshot(st *core.Store, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := st.SaveSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,181 @@
+// Command sievesim runs one cache-allocation policy over the synthetic
+// ensemble trace and reports per-day hit ratios, allocation-writes, and
+// drive-occupancy figures — a single cell of the paper's evaluation matrix.
+//
+// Usage:
+//
+//	sievesim -policy sievec -scale 4096 -cachegb 16
+//	sievesim -policy wmna -cachegb 32
+//	sievesim -policy sieved -threshold 10
+//	sievesim -policy ideal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/sieve"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sievesim: ")
+	var (
+		policy    = flag.String("policy", "sievec", "policy: sievec, sieved, aod, wmna, randc, randblkd, ideal, singletier, adaptive, perserver")
+		scale     = flag.Int("scale", 4096, "trace scale divisor")
+		seed      = flag.Int64("seed", 1, "trace seed")
+		cacheGB   = flag.Float64("cachegb", 16, "cache size in GB (scaled)")
+		threshold = flag.Int64("threshold", 10, "SieveStore-D epoch threshold")
+		topFrac   = flag.Float64("top", 0.01, "ideal sieve popularity cut")
+		randP     = flag.Float64("randp", 0.01, "random sieve allocation fraction")
+		in        = flag.String("in", "", "day-split trace directory (see tracegen -split); empty generates synthetically")
+	)
+	flag.Parse()
+
+	cfg := workload.Default(*scale)
+	cfg.Seed = *seed
+	var tr sim.Trace
+	if *in != "" {
+		dd, err := trace.OpenDayDir(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr = dd
+	} else {
+		gen, err := workload.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr = gen
+	}
+	capacityBlocks := int(*cacheGB * (1 << 30) / 512 / float64(*scale))
+	if capacityBlocks < 8 {
+		capacityBlocks = 8
+	}
+
+	var (
+		res *sim.Result
+		err error
+	)
+	switch *policy {
+	case "sievec", "singletier":
+		sc := sieve.DefaultCConfig()
+		sc.IMCTSize = 1 << 28 / *scale
+		if sc.IMCTSize < 1024 {
+			sc.IMCTSize = 1024
+		}
+		var p sieve.Policy
+		if *policy == "sievec" {
+			p, err = sieve.NewC(sc)
+		} else {
+			p, err = sieve.NewSingleTier(sc)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err = sim.RunContinuous(tr, capacityBlocks, p)
+	case "adaptive":
+		acfg := sieve.DefaultAdaptiveConfig()
+		acfg.Base.IMCTSize = 1 << 28 / *scale
+		if acfg.Base.IMCTSize < 1024 {
+			acfg.Base.IMCTSize = 1024
+		}
+		var p *sieve.Adaptive
+		p, err = sieve.NewAdaptive(acfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err = sim.RunContinuous(tr, capacityBlocks, p)
+		if err == nil {
+			fmt.Printf("adaptive sieve: final T2=%d after %d adjustments\n", p.T2(), p.Adjustments())
+		}
+	case "perserver":
+		// Quadrant IV: one private SieveStore-C cache per server, the total
+		// capacity split evenly.
+		servers := len(cfg.Servers)
+		factory := func(int) (sieve.Policy, error) {
+			sc := sieve.DefaultCConfig()
+			sc.IMCTSize = 1 << 28 / *scale / servers
+			if sc.IMCTSize < 256 {
+				sc.IMCTSize = 256
+			}
+			return sieve.NewC(sc)
+		}
+		var perServer []*sim.Result
+		res, perServer, err = sim.RunPerServerContinuous(tr, servers, capacityBlocks, factory)
+		if err == nil {
+			spec := ssd.IntelX25E()
+			scaled := make([]*sim.Result, len(perServer))
+			for i, r := range perServer {
+				scaled[i] = &sim.Result{Name: r.Name, Days: r.Days,
+					Minutes: metrics.ScaleLoads(r.Minutes, float64(*scale))}
+			}
+			fmt.Printf("per-server drives @99.9%% coverage (one device per server): %d\n",
+				sim.PerServerDriveNeeds(&spec, scaled, 0.999))
+		}
+	case "aod":
+		res, err = sim.RunContinuous(tr, capacityBlocks, sieve.AOD{})
+	case "wmna":
+		res, err = sim.RunContinuous(tr, capacityBlocks, sieve.WMNA{})
+	case "randc":
+		res, err = sim.RunContinuous(tr, capacityBlocks, sieve.NewRandC(*randP, *seed))
+	case "sieved":
+		dir, derr := os.MkdirTemp("", "sievesim-*")
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		defer os.RemoveAll(dir)
+		res, err = sim.RunSieveStoreD(tr, capacityBlocks, *threshold, dir)
+	case "ideal":
+		counters, cerr := sim.DayCounters(tr)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		res, err = sim.RunIdeal(tr, counters, capacityBlocks, *topFrac)
+	case "randblkd":
+		counters, cerr := sim.DayCounters(tr)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		res, err = sim.RunRandBlkD(tr, counters, capacityBlocks, *randP, *seed)
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy=%s cache=%d blocks (%.0f GB-equivalent at scale 1/%d)\n\n",
+		res.Name, capacityBlocks, *cacheGB, *scale)
+	fmt.Printf("%-5s %12s %10s %10s %10s %12s %10s %8s\n",
+		"Day", "Accesses", "ReadHits", "WriteHits", "AllocWr", "Moves", "Evict", "Hit%")
+	for _, d := range res.Days {
+		fmt.Printf("%-5d %12d %10d %10d %10d %12d %10d %8.2f\n",
+			d.Day, d.Accesses, d.ReadHits, d.WriteHits, d.AllocWrites, d.Moves, d.Evictions, 100*d.HitRatio())
+	}
+	t := res.Total()
+	fmt.Printf("%-5s %12d %10d %10d %10d %12d %10d %8.2f\n",
+		"All", t.Accesses, t.ReadHits, t.WriteHits, t.AllocWrites, t.Moves, t.Evictions, 100*t.HitRatio())
+
+	spec := ssd.IntelX25E()
+	loads := metrics.ScaleLoads(res.Minutes, float64(*scale))
+	occ := ssd.OccupancySeries(&spec, loads)
+	maxOcc := 0.0
+	for _, o := range occ {
+		if o > maxOcc {
+			maxOcc = o
+		}
+	}
+	fmt.Printf("\ndrive occupancy (paper-scale, %s): max=%.2f under-1=%.2f%%\n",
+		spec.Name, maxOcc, 100*ssd.FractionUnderOccupancy(occ, 1))
+	for _, p := range ssd.CoverageTable(&spec, loads) {
+		fmt.Printf("  drives @%5.1f%% coverage: %d\n", 100*p.Coverage, p.Drives)
+	}
+}

@@ -1,0 +1,174 @@
+// Command traceconv converts block traces between the supported formats:
+// MSR-style CSV, the compact binary format, and day-split directories. It
+// is the on-ramp for running this repository's experiments on real
+// MSR-Cambridge traces:
+//
+//	traceconv -in msr_week.csv -informat csv -out days/ -outformat daydir
+//	sievesim -policy sievec -in days/
+//
+// Conversions:
+//
+//	traceconv -in trace.csv -informat csv -out trace.bin -outformat bin
+//	traceconv -in trace.bin -informat bin -out - -outformat csv
+//	traceconv -in days/ -informat daydir -out trace.csv -outformat csv
+//
+// The MSR distribution ships one CSV per volume; pass a glob (quoted) to
+// merge them time-ordered in one pass:
+//
+//	traceconv -in 'msr/*.csv' -informat csv -out days/ -outformat daydir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceconv: ")
+	var (
+		in        = flag.String("in", "", "input file or day directory ('-' for stdin)")
+		informat  = flag.String("informat", "csv", "input format: csv, bin, daydir")
+		out       = flag.String("out", "-", "output file or directory ('-' for stdout)")
+		outformat = flag.String("outformat", "bin", "output format: csv, bin, daydir")
+		epoch     = flag.Int64("epoch", 0, "FILETIME tick value treated as time zero when reading CSV (0: timestamps are already relative)")
+		sortDays  = flag.Bool("sort", true, "sort day files by time after a daydir conversion")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("-in is required")
+	}
+
+	names := &trace.NameTable{}
+	reader, closeIn, err := openReader(*in, *informat, names, *epoch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeIn()
+
+	switch *outformat {
+	case "daydir":
+		n, err := trace.SplitByDay(reader, *out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *sortDays {
+			dd, err := trace.OpenDayDir(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := dd.SortDayFiles(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "traceconv: wrote %d day files under %s\n", n, *out)
+		return
+	case "csv", "bin":
+		var w io.Writer = os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer func() {
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}()
+			w = f
+		}
+		var sink trace.Writer
+		var flush func() error
+		if *outformat == "csv" {
+			cw := trace.NewCSVWriter(w, names, *epoch)
+			sink, flush = cw, cw.Flush
+		} else {
+			bw := trace.NewBinaryWriter(w)
+			sink, flush = bw, bw.Flush
+		}
+		var total int64
+		for {
+			req, err := reader.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sink.Write(req); err != nil {
+				log.Fatal(err)
+			}
+			total++
+		}
+		if err := flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "traceconv: wrote %d requests\n", total)
+	default:
+		log.Fatalf("unknown output format %q", *outformat)
+	}
+}
+
+func openReader(in, format string, names *trace.NameTable, epoch int64) (trace.Reader, func(), error) {
+	noop := func() {}
+	switch format {
+	case "daydir":
+		dd, err := trace.OpenDayDir(in)
+		if err != nil {
+			return nil, noop, err
+		}
+		return dd.Reader(), noop, nil
+	case "csv", "bin":
+		if in == "-" {
+			if format == "csv" {
+				return trace.NewCSVReader(os.Stdin, names, epoch), noop, nil
+			}
+			return trace.NewBinaryReader(os.Stdin), noop, nil
+		}
+		paths, err := filepath.Glob(in)
+		if err != nil {
+			return nil, noop, err
+		}
+		if len(paths) == 0 {
+			return nil, noop, fmt.Errorf("no input matches %q", in)
+		}
+		sort.Strings(paths)
+		var files []*os.File
+		var readers []trace.Reader
+		for _, path := range paths {
+			f, err := os.Open(path)
+			if err != nil {
+				for _, open := range files {
+					open.Close()
+				}
+				return nil, noop, err
+			}
+			files = append(files, f)
+			if format == "csv" {
+				readers = append(readers, trace.NewCSVReader(f, names, epoch))
+			} else {
+				readers = append(readers, trace.NewBinaryReader(f))
+			}
+		}
+		closeFn := func() {
+			for _, f := range files {
+				f.Close()
+			}
+		}
+		if len(readers) == 1 {
+			return readers[0], closeFn, nil
+		}
+		// Per-volume files are individually time-ordered; a k-way merge
+		// yields the ensemble stream in one pass.
+		return trace.Merge(readers...), closeFn, nil
+	default:
+		return nil, noop, fmt.Errorf("unknown input format %q", format)
+	}
+}

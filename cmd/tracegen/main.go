@@ -1,0 +1,128 @@
+// Command tracegen synthesizes an MSR-Cambridge-style block-access trace of
+// the paper's 13-server storage ensemble and writes it in CSV (MSR schema)
+// or the compact binary format.
+//
+// Usage:
+//
+//	tracegen -scale 4096 -days 8 -format csv -out trace.csv
+//	tracegen -scale 512 -format bin -out trace.bin
+//	tracegen -out - | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		scale      = flag.Int("scale", workload.DefaultScale, "trace scale divisor (1 = paper volume)")
+		days       = flag.Int("days", 8, "calendar days to generate")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		format     = flag.String("format", "csv", "output format: csv or bin")
+		out        = flag.String("out", "-", "output file ('-' for stdout)")
+		split      = flag.String("split", "", "instead of one file, write per-day binary files into this directory")
+		config     = flag.String("config", "", "JSON ensemble configuration (see -dump-config); flags override scale/days/seed")
+		dumpConfig = flag.Bool("dump-config", false, "print the default ensemble configuration as JSON and exit")
+	)
+	flag.Parse()
+
+	cfg := workload.Default(*scale)
+	if *config != "" {
+		loaded, err := workload.LoadConfig(*config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = loaded
+		// Explicitly passed flags override the file.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scale":
+				cfg.Scale = *scale
+			case "days":
+				cfg.Days = *days
+			case "seed":
+				cfg.Seed = *seed
+			}
+		})
+	} else {
+		cfg.Days = *days
+		cfg.Seed = *seed
+	}
+	if *dumpConfig {
+		data, err := workload.EncodeConfig(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	gen, err := workload.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *split != "" {
+		n, err := trace.SplitByDay(gen.Reader(), *split)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d day files under %s\n", n, *split)
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	var sink trace.Writer
+	var flush func() error
+	switch *format {
+	case "csv":
+		cw := trace.NewCSVWriter(w, gen.Names(), 0)
+		sink, flush = cw, cw.Flush
+	case "bin":
+		bw := trace.NewBinaryWriter(w)
+		sink, flush = bw, bw.Flush
+	default:
+		log.Fatalf("unknown format %q (want csv or bin)", *format)
+	}
+
+	var total int64
+	r := gen.Reader()
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sink.Write(req); err != nil {
+			log.Fatal(err)
+		}
+		total++
+	}
+	if err := flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d requests (%d days, scale 1/%d)\n", total, *days, *scale)
+}

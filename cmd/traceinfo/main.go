@@ -1,0 +1,138 @@
+// Command traceinfo reproduces the paper's Section 2 trace analyses —
+// Table 1's summary and the popularity-skew statistics behind Figures 2
+// and 3 — for a trace file (MSR CSV or binary) or a freshly generated
+// synthetic trace.
+//
+// Usage:
+//
+//	traceinfo -scale 8192                 # analyze a synthetic trace
+//	traceinfo -in trace.csv -format csv   # analyze a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceinfo: ")
+	var (
+		in     = flag.String("in", "", "trace file to analyze (empty: generate synthetic)")
+		format = flag.String("format", "csv", "input format: csv or bin")
+		scale  = flag.Int("scale", 8192, "scale for synthetic generation")
+		seed   = flag.Int64("seed", 1, "synthetic generator seed")
+		topPct = flag.Float64("top", 0.01, "popularity cut for the hot-set share")
+		gaps   = flag.Bool("gaps", false, "also report the reuse-gap distribution by popularity class")
+	)
+	flag.Parse()
+
+	names := &trace.NameTable{}
+	// open returns a fresh reader over the input (the gap analysis reads
+	// the trace twice). File handles are read to EOF within this process;
+	// process exit cleans them up.
+	open := func() (trace.Reader, error) {
+		if *in == "" {
+			cfg := workload.Default(*scale)
+			cfg.Seed = *seed
+			gen, err := workload.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			names = gen.Names()
+			return gen.Reader(), nil
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			return nil, err
+		}
+		switch *format {
+		case "csv":
+			return trace.NewCSVReader(f, names, 0), nil
+		case "bin":
+			return trace.NewBinaryReader(f), nil
+		default:
+			return nil, fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	reader, err := open()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Split into per-day counters plus per-server roll-ups in one pass.
+	var dayCounters []*analysis.Counter
+	perServer := map[int]*analysis.Counter{}
+	var requests, accesses int64
+	for {
+		req, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := trace.DayOf(req.Time)
+		for len(dayCounters) <= d {
+			dayCounters = append(dayCounters, analysis.NewCounter())
+		}
+		dayCounters[d].AddRequest(&req)
+		sc := perServer[req.Server]
+		if sc == nil {
+			sc = analysis.NewCounter()
+			perServer[req.Server] = sc
+		}
+		sc.AddRequest(&req)
+		requests++
+		accesses += int64(req.Blocks())
+	}
+
+	fmt.Printf("trace: %d requests, %d block accesses, %d days\n\n", requests, accesses, len(dayCounters))
+
+	fmt.Println("Per-day popularity skew (paper §2, O1):")
+	fmt.Printf("%-5s %12s %12s %10s %8s %8s %8s\n", "Day", "Accesses", "Unique", "top-share", "once", "≤4", "≤10")
+	for d, c := range dayCounters {
+		if c.Total() == 0 {
+			continue
+		}
+		fmt.Printf("%-5d %12d %12d %10.3f %8.3f %8.3f %8.3f\n",
+			d, c.Total(), c.Unique(), c.TopShare(*topPct), c.CountLE(1), c.CountLE(4), c.CountLE(10))
+	}
+
+	fmt.Println("\nPer-server skew (whole trace, O2):")
+	fmt.Printf("%-10s %12s %12s %10s\n", "Server", "Accesses", "Unique", "top-share")
+	for id := 0; id < len(perServer)+16; id++ {
+		c, ok := perServer[id]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-10s %12d %12d %10.3f\n", names.Name(id), c.Total(), c.Unique(), c.TopShare(*topPct))
+	}
+
+	if len(dayCounters) > 1 {
+		fmt.Println("\nDay-over-day top-set overlap (O2):")
+		prev := dayCounters[0].TopFraction(*topPct)
+		for d := 1; d < len(dayCounters); d++ {
+			cur := dayCounters[d].TopFraction(*topPct)
+			fmt.Printf("  day %d→%d: %.2f\n", d-1, d, analysis.Overlap(prev, cur))
+			prev = cur
+		}
+	}
+
+	if *gaps {
+		fmt.Println()
+		report, err := analysis.ReuseGaps(open, analysis.DefaultGapClasses())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report.String())
+	}
+}

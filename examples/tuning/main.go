@@ -1,0 +1,54 @@
+// Tuning: reproduce the paper's §5.1 sensitivity observations — the
+// SieveStore-D threshold sweep, the SieveStore-C window sweep, and the
+// DESIGN.md ablations (single-tier sieve, subwindow discretization).
+//
+//	go run ./examples/tuning
+//	go run ./examples/tuning -scale 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Int("scale", 16384, "trace scale divisor")
+	flag.Parse()
+
+	cfg := exp.DefaultConfig(*scale)
+	fmt.Printf("sensitivity & ablations at scale 1/%d\n\n", *scale)
+
+	dRows, err := exp.SensitivityD(cfg, []int64{4, 6, 8, 10, 14, 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wRows, err := exp.SensitivityCWindow(cfg, []time.Duration{
+		1 * time.Hour, 2 * time.Hour, 4 * time.Hour, 8 * time.Hour, 16 * time.Hour})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aRows, err := exp.AblationSingleTier(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kRows, err := exp.AblationSubwindows(cfg, []int{1, 2, 4, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.FormatSensitivity(dRows, wRows, aRows, kRows))
+
+	fmt.Println("Reading the sweeps:")
+	fmt.Println("  - SieveStore-D: hits fall slowly above t≈8 but moves fall fast — the paper")
+	fmt.Println("    picks t=10 as the knee. Below t≈8 the selected set exceeds the cache and")
+	fmt.Println("    sieving degenerates.")
+	fmt.Println("  - SieveStore-C: windows shorter than ~8h expire hot blocks' miss counts")
+	fmt.Println("    before they qualify; longer windows change little.")
+	fmt.Println("  - Single-tier: aliased counts admit low-reuse blocks (more alloc-writes for")
+	fmt.Println("    the same or worse hit ratio) — the reason the MCT exists.")
+	fmt.Println("  - Subwindows: the k-counter discretization of the sliding window is benign.")
+}

@@ -1,0 +1,134 @@
+// Warm restart: a SieveStore appliance spends its uptime learning the
+// popular-block set; a snapshot preserves that investment across a restart,
+// so the next process starts hitting immediately instead of re-sieving from
+// scratch. Demonstrates SaveSnapshot/LoadSnapshot and write-back mode.
+//
+//	go run ./examples/warmrestart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sieve"
+	"repro/internal/store"
+)
+
+const (
+	hotBlocks  = 64
+	coldBlocks = 4096
+	phaseOps   = 2500
+)
+
+// workloadPhase runs a skewed read/write mix and returns the phase's hit
+// ratio.
+func workloadPhase(st *core.Store, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	before := st.Stats()
+	buf := make([]byte, 4096)
+	for i := 0; i < phaseOps; i++ {
+		var chunk int
+		if rng.Float64() < 0.6 {
+			chunk = int(float64(hotBlocks) * rng.Float64() * rng.Float64())
+		} else {
+			chunk = hotBlocks + rng.Intn(coldBlocks)
+		}
+		off := uint64(chunk) * 4096
+		var err error
+		if rng.Float64() < 0.3 {
+			err = st.WriteAt(0, 0, buf, off)
+		} else {
+			err = st.ReadAt(0, 0, buf, off)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	after := st.Stats()
+	acc := (after.Reads + after.Writes) - (before.Reads + before.Writes)
+	hits := after.Hits() - before.Hits()
+	return float64(hits) / float64(acc)
+}
+
+func openStore(backend core.Backend) *core.Store {
+	st, err := core.Open(backend, core.Options{
+		CacheBytes: 2 << 20,
+		Variant:    core.VariantC,
+		WriteBack:  true, // writes to hot blocks stay in the cache
+		SieveC: sieve.CConfig{
+			IMCTSize: 1 << 14, T1: 2, T2: 2,
+			Window: time.Hour, Subwindows: 4,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+func main() {
+	log.SetFlags(0)
+	backend := store.NewMem()
+	backend.AddVolume(0, 0, 1<<28)
+	snapPath := filepath.Join(os.TempDir(), "sievestore-warmrestart.snap")
+	defer os.Remove(snapPath)
+
+	// ---- First process lifetime: learn the hot set. ----
+	st := openStore(backend)
+	cold := workloadPhase(st, 1)
+	warm := workloadPhase(st, 2)
+	fmt.Printf("first run:   cold-phase hits %5.1f%% → warmed-up hits %5.1f%% (dirty blocks: %d)\n",
+		100*cold, 100*warm, st.Stats().DirtyBlocks)
+
+	// Snapshot on the way down (this also flushes write-back data).
+	cachedAtShutdown := st.Stats().CachedBlocks
+	f, err := os.Create(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.SaveSnapshot(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot:    %d cached blocks → %d bytes on disk\n", cachedAtShutdown, fi.Size())
+
+	// ---- "Restart": a cold process would re-pay the sieving cost... ----
+	coldStore := openStore(backend)
+	coldRestart := workloadPhase(coldStore, 3)
+	coldStore.Close()
+
+	// ---- ...but loading the snapshot starts warm. ----
+	st2 := openStore(backend)
+	f, err = os.Open(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st2.LoadSnapshot(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("restored:    %d blocks resident before the first request\n", st2.Stats().CachedBlocks)
+	warmRestart := workloadPhase(st2, 3) // identical phase as the cold restart
+	st2.Close()
+
+	fmt.Printf("\nrestart comparison (same workload):\n")
+	fmt.Printf("  cold restart: %5.1f%% hits\n", 100*coldRestart)
+	fmt.Printf("  warm restart: %5.1f%% hits\n", 100*warmRestart)
+	if warmRestart <= coldRestart {
+		log.Fatal("warm restart did not help — snapshot broken?")
+	}
+}

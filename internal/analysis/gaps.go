@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/trace"
+)
+
+// Reuse-gap analysis: the distribution of time between successive accesses
+// to the same block, broken down by the block's daily popularity class.
+// This quantifies the paper's observation that the servers' in-memory
+// buffer caches absorb short-gap reuse before it reaches the block layer —
+// the reason an unsieved LRU disk cache cannot hold onto the low-reuse
+// mass (its residency is far shorter than the residual gaps), while blocks
+// above the sieving threshold are re-accessed quickly enough to matter.
+
+// gapBounds are the histogram bucket upper bounds.
+var gapBounds = []time.Duration{
+	time.Minute,
+	4 * time.Minute,
+	16 * time.Minute,
+	time.Hour,
+	4 * time.Hour,
+	16 * time.Hour,
+	1 << 62, // +inf
+}
+
+// GapBuckets is the number of histogram buckets.
+const GapBuckets = 7
+
+// GapClass aggregates reuse gaps for blocks whose total access count falls
+// in [LoCount, HiCount].
+type GapClass struct {
+	Label            string
+	LoCount, HiCount int64
+	Blocks           int64
+	Gaps             int64
+	Buckets          [GapBuckets]int64
+	// TotalGapNS accumulates in float64: gaps can span days, and an int64
+	// sum overflows on large traces.
+	TotalGapNS float64
+}
+
+// MeanGap returns the class's mean inter-access gap.
+func (c *GapClass) MeanGap() time.Duration {
+	if c.Gaps == 0 {
+		return 0
+	}
+	return time.Duration(c.TotalGapNS / float64(c.Gaps))
+}
+
+// FractionUnder returns the fraction of gaps at most d.
+func (c *GapClass) FractionUnder(d time.Duration) float64 {
+	if c.Gaps == 0 {
+		return 0
+	}
+	var n int64
+	for i, bound := range gapBounds {
+		if bound <= d {
+			n += c.Buckets[i]
+		}
+	}
+	return float64(n) / float64(c.Gaps)
+}
+
+// GapReport is the full per-class analysis.
+type GapReport struct {
+	Classes []GapClass
+}
+
+// DefaultGapClasses returns the popularity classes used by the report:
+// one-shot blocks, the cold band, the sieve boundary band, and the hot top.
+func DefaultGapClasses() []GapClass {
+	return []GapClass{
+		{Label: "1 access", LoCount: 1, HiCount: 1},
+		{Label: "2-4", LoCount: 2, HiCount: 4},
+		{Label: "5-10", LoCount: 5, HiCount: 10},
+		{Label: "11-40", LoCount: 11, HiCount: 40},
+		{Label: ">40", LoCount: 41, HiCount: 1 << 62},
+	}
+}
+
+// ReuseGaps scans a trace twice — once to classify blocks by total access
+// count, once to histogram inter-access gaps per class. The rewind function
+// must return a fresh Reader over the same trace.
+func ReuseGaps(open func() (trace.Reader, error), classes []GapClass) (*GapReport, error) {
+	// Pass 1: total counts.
+	counts := make(map[block.Key]int64)
+	r, err := open()
+	if err != nil {
+		return nil, err
+	}
+	if err := eachBlockAccess(r, func(acc block.Access) {
+		counts[acc.Key]++
+	}); err != nil {
+		return nil, err
+	}
+	report := &GapReport{Classes: append([]GapClass(nil), classes...)}
+	classOf := func(count int64) *GapClass {
+		for i := range report.Classes {
+			c := &report.Classes[i]
+			if count >= c.LoCount && count <= c.HiCount {
+				return c
+			}
+		}
+		return nil
+	}
+	for _, n := range counts {
+		if c := classOf(n); c != nil {
+			c.Blocks++
+		}
+	}
+	// Pass 2: gaps.
+	last := make(map[block.Key]int64, len(counts))
+	r, err = open()
+	if err != nil {
+		return nil, err
+	}
+	if err := eachBlockAccess(r, func(acc block.Access) {
+		c := classOf(counts[acc.Key])
+		if prev, ok := last[acc.Key]; ok && c != nil {
+			gap := acc.Time - prev
+			if gap < 0 {
+				gap = 0
+			}
+			c.Gaps++
+			c.TotalGapNS += float64(gap)
+			for i, bound := range gapBounds {
+				if time.Duration(gap) <= bound {
+					c.Buckets[i]++
+					break
+				}
+			}
+		}
+		last[acc.Key] = acc.Time
+	}); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// eachBlockAccess expands every request and calls fn per block access.
+func eachBlockAccess(r trace.Reader, fn func(block.Access)) error {
+	var buf []block.Access
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		buf = trace.Expand(buf[:0], &req)
+		for _, acc := range buf {
+			fn(acc)
+		}
+	}
+}
+
+// String renders the report as a table.
+func (g *GapReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Reuse-gap distribution by popularity class:\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %12s %10s %10s\n",
+		"class", "blocks", "gaps", "mean gap", "<16min", "<1h")
+	for i := range g.Classes {
+		c := &g.Classes[i]
+		fmt.Fprintf(&b, "%-10s %10d %10d %12s %9.1f%% %9.1f%%\n",
+			c.Label, c.Blocks, c.Gaps, c.MeanGap().Round(time.Second),
+			100*c.FractionUnder(16*time.Minute), 100*c.FractionUnder(time.Hour))
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/trace"
+)
+
+// gapTrace builds a trace where block 0 is accessed every `hotGap` and
+// blocks 1..n once each.
+func gapTrace(hotAccesses int, hotGap time.Duration, singles int) []block.Request {
+	var reqs []block.Request
+	for i := 0; i < hotAccesses; i++ {
+		reqs = append(reqs, block.Request{
+			Time: int64(i) * hotGap.Nanoseconds(), Kind: block.Read,
+			Offset: 0, Length: block.Size,
+		})
+	}
+	for i := 1; i <= singles; i++ {
+		reqs = append(reqs, block.Request{
+			Time: int64(i) * int64(time.Second), Kind: block.Read,
+			Offset: uint64(i) * block.Size, Length: block.Size,
+		})
+	}
+	trace.SortByTime(reqs)
+	return reqs
+}
+
+func openFor(reqs []block.Request) func() (trace.Reader, error) {
+	return func() (trace.Reader, error) { return trace.NewSliceReader(reqs), nil }
+}
+
+func TestReuseGapsBasics(t *testing.T) {
+	reqs := gapTrace(50, 10*time.Minute, 99)
+	report, err := ReuseGaps(openFor(reqs), DefaultGapClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class "1 access": 99 blocks, zero gaps by definition.
+	ones := report.Classes[0]
+	if ones.Blocks != 99 || ones.Gaps != 0 {
+		t.Errorf("one-shot class = %+v", ones)
+	}
+	// The hot block (50 accesses) lands in ">40": 49 gaps of 10 minutes.
+	hot := report.Classes[4]
+	if hot.Blocks != 1 || hot.Gaps != 49 {
+		t.Fatalf("hot class = %+v", hot)
+	}
+	if got := hot.MeanGap(); got != 10*time.Minute {
+		t.Errorf("mean gap = %v", got)
+	}
+	if f := hot.FractionUnder(16 * time.Minute); math.Abs(f-1) > 1e-9 {
+		t.Errorf("fraction under 16min = %v", f)
+	}
+	if f := hot.FractionUnder(4 * time.Minute); f != 0 {
+		t.Errorf("fraction under 4min = %v", f)
+	}
+}
+
+func TestReuseGapsClassBoundaries(t *testing.T) {
+	// A block with exactly 4 accesses must land in 2-4, one with 5 in 5-10.
+	var reqs []block.Request
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, block.Request{Time: int64(i) * 1e9, Offset: 0, Length: block.Size})
+	}
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, block.Request{Time: int64(i) * 1e9, Offset: 512, Length: block.Size})
+	}
+	trace.SortByTime(reqs)
+	report, err := ReuseGaps(openFor(reqs), DefaultGapClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Classes[1].Blocks != 1 || report.Classes[1].Gaps != 3 {
+		t.Errorf("2-4 class = %+v", report.Classes[1])
+	}
+	if report.Classes[2].Blocks != 1 || report.Classes[2].Gaps != 4 {
+		t.Errorf("5-10 class = %+v", report.Classes[2])
+	}
+}
+
+func TestReuseGapsRender(t *testing.T) {
+	reqs := gapTrace(12, time.Hour, 10)
+	report, err := ReuseGaps(openFor(reqs), DefaultGapClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := report.String()
+	if !strings.Contains(out, "11-40") || !strings.Contains(out, "mean gap") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestReuseGapsEmptyTrace(t *testing.T) {
+	report, err := ReuseGaps(openFor(nil), DefaultGapClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range report.Classes {
+		if c.Blocks != 0 || c.Gaps != 0 || c.MeanGap() != 0 || c.FractionUnder(time.Hour) != 0 {
+			t.Errorf("non-empty class on empty trace: %+v", c)
+		}
+	}
+}

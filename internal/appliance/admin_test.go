@@ -1,0 +1,186 @@
+package appliance
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// startDServer starts an appliance over a VariantD store with a long epoch
+// (rotation only via the admin op).
+func startDServer(t *testing.T) (*Client, *core.Store, *store.Mem) {
+	t.Helper()
+	be := store.NewMem()
+	be.AddVolume(0, 0, 1<<24)
+	st, err := core.Open(be, core.Options{
+		CacheBytes: 256 * block.Size,
+		Variant:    core.VariantD,
+		DThreshold: 3,
+		Epoch:      240 * time.Hour,
+		SpillDir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(l) }()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		<-done
+		st.Close()
+	})
+	return client, st, be
+}
+
+func TestRemoteRotateEpoch(t *testing.T) {
+	client, st, be := startDServer(t)
+	seed := bytes.Repeat([]byte{0xAA}, 512)
+	if err := be.WriteAt(0, 0, seed, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	for i := 0; i < 5; i++ {
+		if err := client.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Stats().CachedBlocks != 0 {
+		t.Fatal("nothing should be cached before rotation")
+	}
+	if err := client.RotateEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epochs != 1 || stats.EpochMoves != 1 || stats.CachedBlocks != 1 {
+		t.Errorf("after remote rotation: %+v", stats)
+	}
+	// The moved block serves hits with the right data.
+	if err := client.ReadAt(0, 0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, seed) {
+		t.Error("rotated block data wrong")
+	}
+}
+
+func TestRemoteInvalidate(t *testing.T) {
+	client, st, _ := startDServer(t)
+	buf := make([]byte, 512)
+	for i := 0; i < 5; i++ {
+		if err := client.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.RotateEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Contains(0, 0, 0) {
+		t.Fatal("setup: block not cached")
+	}
+	dropped, err := client.Invalidate(0, 0, 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if st.Contains(0, 0, 0) {
+		t.Error("block still cached after remote invalidate")
+	}
+	// Idempotent: a second invalidate drops nothing.
+	dropped, err = client.Invalidate(0, 0, 0, 512)
+	if err != nil || dropped != 0 {
+		t.Errorf("second invalidate: %d, %v", dropped, err)
+	}
+	// Unaligned invalidate surfaces as a remote error.
+	if _, err := client.Invalidate(0, 0, 100, 512); err == nil {
+		t.Error("unaligned invalidate accepted")
+	}
+}
+
+func TestRotateOnVariantCIsNoop(t *testing.T) {
+	client, _, _ := startServer(t)
+	if err := client.RotateEpoch(); err != nil {
+		t.Errorf("rotate on VariantC: %v", err)
+	}
+}
+
+func TestUnknownOpClosesConnection(t *testing.T) {
+	client, _, _ := startServer(t)
+	// Hand-craft a frame with an unknown op: the server responds with an
+	// error and closes the connection.
+	var hdr [headerSize]byte
+	h := header{op: 99, length: 0}
+	h.encode(hdr[:])
+	if _, err := client.conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(client.conn, status[:]); err != nil || status[0] != statusErr {
+		t.Fatalf("status = %v, err = %v", status, err)
+	}
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(client.conn, lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(client.conn, msg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(msg), "unknown op") {
+		t.Errorf("message = %q", msg)
+	}
+	// The server drops the connection after a protocol violation.
+	client.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := client.conn.Read(status[:]); err == nil {
+		t.Error("connection still open after protocol violation")
+	}
+}
+
+func TestBadMagicClosesConnection(t *testing.T) {
+	client, _, _ := startServer(t)
+	junk := make([]byte, headerSize)
+	junk[0] = 0x00
+	if _, err := client.conn.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	var status [1]byte
+	client.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(client.conn, status[:]); err != nil || status[0] != statusErr {
+		t.Fatalf("status = %v err = %v", status, err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestRemoteErrorString(t *testing.T) {
+	e := &RemoteError{Msg: "boom"}
+	if !strings.Contains(e.Error(), "boom") {
+		t.Errorf("error = %q", e.Error())
+	}
+}

@@ -1,0 +1,418 @@
+// Package appliance exposes a SieveStore core.Store over TCP as a
+// transparent block-caching appliance — the deployment model of the paper
+// (§3.3, Figure 4): servers issue block I/O to the appliance, which serves
+// popular blocks from its cache and forwards the rest to the storage
+// ensemble.
+//
+// The wire protocol is a minimal length-prefixed binary framing (the paper
+// assumes iSCSI; any block protocol works, so we use the simplest one that
+// exercises the same data path):
+//
+//	request:  magic 'S' | op u8 | server u16 | volume u16 | offset u64 | length u32 | payload
+//	response: status u8 | (status==0: payload) (status==1: msgLen u16 | message)
+//
+// Reads carry no request payload and return `length` bytes; writes carry
+// `length` bytes and return an empty payload; OpStats returns a JSON
+// encoding of core.Stats prefixed by a u32 length.
+package appliance
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Protocol constants.
+const (
+	magic = 0x53 // 'S'
+
+	// OpRead reads length bytes.
+	OpRead = 1
+	// OpWrite writes the payload.
+	OpWrite = 2
+	// OpStats returns the appliance's core.Stats as JSON.
+	OpStats = 3
+	// OpRotate forces a SieveStore-D epoch rotation (no-op for VariantC).
+	OpRotate = 4
+	// OpInvalidate drops cached blocks in [offset, offset+length); the
+	// response payload is the dropped count as a u32.
+	OpInvalidate = 5
+
+	statusOK  = 0
+	statusErr = 1
+
+	// MaxIOBytes bounds a single request's transfer size.
+	MaxIOBytes = 16 << 20
+
+	headerSize = 1 + 1 + 2 + 2 + 8 + 4
+)
+
+// ErrProtocol reports a malformed frame.
+var ErrProtocol = errors.New("appliance: protocol error")
+
+// header is the fixed-size request prefix.
+type header struct {
+	op     byte
+	server uint16
+	volume uint16
+	offset uint64
+	length uint32
+}
+
+func (h *header) encode(buf []byte) {
+	buf[0] = magic
+	buf[1] = h.op
+	binary.BigEndian.PutUint16(buf[2:], h.server)
+	binary.BigEndian.PutUint16(buf[4:], h.volume)
+	binary.BigEndian.PutUint64(buf[6:], h.offset)
+	binary.BigEndian.PutUint32(buf[14:], h.length)
+}
+
+func decodeHeader(buf []byte) (header, error) {
+	if buf[0] != magic {
+		return header{}, fmt.Errorf("%w: bad magic 0x%02x", ErrProtocol, buf[0])
+	}
+	h := header{
+		op:     buf[1],
+		server: binary.BigEndian.Uint16(buf[2:]),
+		volume: binary.BigEndian.Uint16(buf[4:]),
+		offset: binary.BigEndian.Uint64(buf[6:]),
+		length: binary.BigEndian.Uint32(buf[14:]),
+	}
+	if h.length > MaxIOBytes {
+		return header{}, fmt.Errorf("%w: length %d exceeds limit", ErrProtocol, h.length)
+	}
+	return h, nil
+}
+
+// Server serves the appliance protocol over a listener, backed by a
+// core.Store.
+type Server struct {
+	store *core.Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a Server around st. The caller retains ownership of st
+// (Close does not close the store).
+func NewServer(st *core.Store) *Server {
+	return &Server{store: st, conns: make(map[net.Conn]bool)}
+}
+
+// Serve accepts connections on l until Close is called. It always returns a
+// non-nil error (net.ErrClosed after a clean shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Close stops the listener and all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// serveConn handles one connection until EOF or error.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	hdr := make([]byte, headerSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return // EOF or broken connection
+		}
+		h, err := decodeHeader(hdr)
+		if err != nil {
+			s.writeErr(conn, err)
+			return
+		}
+		switch h.op {
+		case OpRead:
+			if cap(payload) < int(h.length) {
+				payload = make([]byte, h.length)
+			}
+			buf := payload[:h.length]
+			if err := s.store.ReadAt(int(h.server), int(h.volume), buf, h.offset); err != nil {
+				if !s.writeErr(conn, err) {
+					return
+				}
+				continue
+			}
+			if !s.writeOK(conn, buf) {
+				return
+			}
+		case OpWrite:
+			if cap(payload) < int(h.length) {
+				payload = make([]byte, h.length)
+			}
+			buf := payload[:h.length]
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				return
+			}
+			if err := s.store.WriteAt(int(h.server), int(h.volume), buf, h.offset); err != nil {
+				if !s.writeErr(conn, err) {
+					return
+				}
+				continue
+			}
+			if !s.writeOK(conn, nil) {
+				return
+			}
+		case OpStats:
+			data, err := json.Marshal(s.store.Stats())
+			if err != nil {
+				if !s.writeErr(conn, err) {
+					return
+				}
+				continue
+			}
+			var lenBuf [4]byte
+			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+			if !s.writeOK(conn, append(lenBuf[:], data...)) {
+				return
+			}
+		case OpRotate:
+			if err := s.store.RotateEpoch(); err != nil {
+				if !s.writeErr(conn, err) {
+					return
+				}
+				continue
+			}
+			if !s.writeOK(conn, nil) {
+				return
+			}
+		case OpInvalidate:
+			dropped, err := s.store.Invalidate(int(h.server), int(h.volume), h.offset, int(h.length))
+			if err != nil {
+				if !s.writeErr(conn, err) {
+					return
+				}
+				continue
+			}
+			var resp [4]byte
+			binary.BigEndian.PutUint32(resp[:], uint32(dropped))
+			if !s.writeOK(conn, resp[:]) {
+				return
+			}
+		default:
+			s.writeErr(conn, fmt.Errorf("%w: unknown op %d", ErrProtocol, h.op))
+			return
+		}
+	}
+}
+
+func (s *Server) writeOK(conn net.Conn, payload []byte) bool {
+	if _, err := conn.Write([]byte{statusOK}); err != nil {
+		return false
+	}
+	if len(payload) > 0 {
+		if _, err := conn.Write(payload); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) writeErr(conn net.Conn, err error) bool {
+	msg := err.Error()
+	if len(msg) > 65535 {
+		msg = msg[:65535]
+	}
+	frame := make([]byte, 3+len(msg))
+	frame[0] = statusErr
+	binary.BigEndian.PutUint16(frame[1:], uint16(len(msg)))
+	copy(frame[3:], msg)
+	_, werr := conn.Write(frame)
+	return werr == nil
+}
+
+// Client is a connection to an appliance Server. It is safe for concurrent
+// use; requests are serialized on the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	hdr  [headerSize]byte
+}
+
+// Dial connects to an appliance at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// RemoteError is a server-side failure reported over the protocol.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "appliance: remote: " + e.Msg }
+
+// roundTrip sends a frame and reads the status byte; on server error it
+// consumes and returns the message.
+func (c *Client) roundTrip(h header, writePayload []byte) error {
+	h.encode(c.hdr[:])
+	if _, err := c.conn.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	if len(writePayload) > 0 {
+		if _, err := c.conn.Write(writePayload); err != nil {
+			return err
+		}
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(c.conn, status[:]); err != nil {
+		return err
+	}
+	if status[0] == statusOK {
+		return nil
+	}
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
+		return err
+	}
+	msg := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(c.conn, msg); err != nil {
+		return err
+	}
+	return &RemoteError{Msg: string(msg)}
+}
+
+// ReadAt reads len(p) bytes from the remote volume at off.
+func (c *Client) ReadAt(server, volume int, p []byte, off uint64) error {
+	if len(p) > MaxIOBytes {
+		return fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, len(p))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := header{op: OpRead, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(len(p))}
+	if err := c.roundTrip(h, nil); err != nil {
+		return err
+	}
+	_, err := io.ReadFull(c.conn, p)
+	return err
+}
+
+// WriteAt writes p to the remote volume at off.
+func (c *Client) WriteAt(server, volume int, p []byte, off uint64) error {
+	if len(p) > MaxIOBytes {
+		return fmt.Errorf("%w: write of %d bytes exceeds limit", ErrProtocol, len(p))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := header{op: OpWrite, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(len(p))}
+	return c.roundTrip(h, p)
+}
+
+// RotateEpoch forces a SieveStore-D epoch rotation on the appliance
+// (no-op for a VariantC appliance).
+func (c *Client) RotateEpoch() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTrip(header{op: OpRotate}, nil)
+}
+
+// Invalidate drops the appliance's cached blocks in [off, off+length),
+// returning how many were resident. Use after modifying the backing
+// ensemble outside the appliance.
+func (c *Client) Invalidate(server, volume int, off uint64, length int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := header{op: OpInvalidate, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(length)}
+	if err := c.roundTrip(h, nil); err != nil {
+		return 0, err
+	}
+	var resp [4]byte
+	if _, err := io.ReadFull(c.conn, resp[:]); err != nil {
+		return 0, err
+	}
+	return int(binary.BigEndian.Uint32(resp[:])), nil
+}
+
+// Stats fetches the appliance's cache statistics.
+func (c *Client) Stats() (core.Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var st core.Stats
+	if err := c.roundTrip(header{op: OpStats}, nil); err != nil {
+		return st, err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
+		return st, err
+	}
+	data := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(c.conn, data); err != nil {
+		return st, err
+	}
+	err := json.Unmarshal(data, &st)
+	return st, err
+}

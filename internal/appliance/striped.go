@@ -1,0 +1,137 @@
+package appliance
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// StripedClient shards block I/O across several appliance nodes — the §7
+// scaling deployment: when one SieveStore node's drives or NICs saturate,
+// the ensemble's address space is hash-striped over N appliances, each
+// caching its shard's hot set.
+//
+// Striping is by aligned 4 KiB extent of (server, volume, offset), so every
+// block of an extent lands on the same node and the common page-sized
+// requests never split. Larger requests are split at extent boundaries.
+type StripedClient struct {
+	nodes []*Client
+}
+
+// stripeBytes is the striping granularity.
+const stripeBytes = 4096
+
+// NewStripedClient dials every address and returns the striped client.
+// On failure all already-opened connections are closed.
+func NewStripedClient(addrs ...string) (*StripedClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("appliance: striped client needs ≥1 node")
+	}
+	sc := &StripedClient{}
+	for _, addr := range addrs {
+		c, err := Dial(addr)
+		if err != nil {
+			sc.Close()
+			return nil, fmt.Errorf("appliance: dialing %s: %w", addr, err)
+		}
+		sc.nodes = append(sc.nodes, c)
+	}
+	return sc, nil
+}
+
+// Nodes returns the stripe width.
+func (sc *StripedClient) Nodes() int { return len(sc.nodes) }
+
+// Close closes every node connection.
+func (sc *StripedClient) Close() error {
+	var first error
+	for _, c := range sc.nodes {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// node selects the appliance for an extent.
+func (sc *StripedClient) node(server, volume int, off uint64) *Client {
+	x := uint64(server)<<40 ^ uint64(volume)<<32 ^ off/stripeBytes
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return sc.nodes[x%uint64(len(sc.nodes))]
+}
+
+// forEachExtent splits [off, off+n) at extent boundaries.
+func forEachExtent(off uint64, n int, fn func(off uint64, n int) error) error {
+	for n > 0 {
+		within := int(off % stripeBytes)
+		chunk := stripeBytes - within
+		if chunk > n {
+			chunk = n
+		}
+		if err := fn(off, chunk); err != nil {
+			return err
+		}
+		off += uint64(chunk)
+		n -= chunk
+	}
+	return nil
+}
+
+// ReadAt reads len(p) bytes, splitting across nodes at extent boundaries.
+func (sc *StripedClient) ReadAt(server, volume int, p []byte, off uint64) error {
+	base := off
+	return forEachExtent(off, len(p), func(o uint64, n int) error {
+		buf := p[o-base : o-base+uint64(n)]
+		return sc.node(server, volume, o).ReadAt(server, volume, buf, o)
+	})
+}
+
+// WriteAt writes p, splitting across nodes at extent boundaries.
+func (sc *StripedClient) WriteAt(server, volume int, p []byte, off uint64) error {
+	base := off
+	return forEachExtent(off, len(p), func(o uint64, n int) error {
+		buf := p[o-base : o-base+uint64(n)]
+		return sc.node(server, volume, o).WriteAt(server, volume, buf, o)
+	})
+}
+
+// Stats sums the cache statistics of all nodes. Gauges (CachedBlocks,
+// CapacityBlocks, DirtyBlocks, SieveTrackedBlocks) add meaningfully because
+// each node caches a disjoint shard.
+func (sc *StripedClient) Stats() (core.Stats, error) {
+	var total core.Stats
+	for _, c := range sc.nodes {
+		s, err := c.Stats()
+		if err != nil {
+			return total, err
+		}
+		total.Reads += s.Reads
+		total.Writes += s.Writes
+		total.ReadHits += s.ReadHits
+		total.WriteHits += s.WriteHits
+		total.AllocWrites += s.AllocWrites
+		total.Evictions += s.Evictions
+		total.EpochMoves += s.EpochMoves
+		total.Epochs += s.Epochs
+		total.BackendReads += s.BackendReads
+		total.BackendWrites += s.BackendWrites
+		total.CachedBlocks += s.CachedBlocks
+		total.CapacityBlocks += s.CapacityBlocks
+		total.DirtyBlocks += s.DirtyBlocks
+		total.FlushWrites += s.FlushWrites
+		total.SieveTrackedBlocks += s.SieveTrackedBlocks
+		total.BackendBytesRead += s.BackendBytesRead
+		total.BackendBytesWritten += s.BackendBytesWritten
+		total.CacheBytesServed += s.CacheBytesServed
+		total.BackendBytesServedRead += s.BackendBytesServedRead
+	}
+	return total, nil
+}
+
+var _ core.Backend = (*StripedClient)(nil) // a striped client is itself a Backend

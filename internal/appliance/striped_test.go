@@ -1,0 +1,215 @@
+package appliance
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/sieve"
+	"repro/internal/store"
+)
+
+// startNode launches one appliance node over a SHARED backend — all nodes
+// front the same ensemble, each caching its shard.
+func startNode(t *testing.T, be core.Backend) string {
+	t.Helper()
+	st, err := core.Open(be, core.Options{
+		CacheBytes: 512 * block.Size,
+		SieveC:     sieve.CConfig{IMCTSize: 1 << 12, T1: 1, T2: 1, Window: time.Hour, Subwindows: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+		st.Close()
+	})
+	return l.Addr().String()
+}
+
+func TestStripedClientRoundTrip(t *testing.T) {
+	be := store.NewMem()
+	be.AddVolume(0, 0, 1<<24)
+	addrs := []string{startNode(t, be), startNode(t, be), startNode(t, be)}
+	sc, err := NewStripedClient(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if sc.Nodes() != 3 {
+		t.Fatal("node count")
+	}
+	// A large write spanning many extents, read back through the stripes.
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 64*4096)
+	rng.Read(data)
+	if err := sc.WriteAt(0, 0, data, 12288); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := sc.ReadAt(0, 0, got, 12288); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("striped round trip mismatch")
+	}
+	// The backend (shared) has the full data too (write-through).
+	if err := be.ReadAt(0, 0, got, 12288); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("backend missing striped write")
+	}
+}
+
+func TestStripedClientShardsLoad(t *testing.T) {
+	be := store.NewMem()
+	be.AddVolume(0, 0, 1<<24)
+	addrs := []string{startNode(t, be), startNode(t, be)}
+	sc, err := NewStripedClient(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	buf := make([]byte, 4096)
+	for i := uint64(0); i < 256; i++ {
+		if err := sc.ReadAt(0, 0, buf, i*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both nodes must have seen a meaningful share of the extents.
+	a, err := sc.nodes[0].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.nodes[1].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reads == 0 || b.Reads == 0 {
+		t.Fatalf("stripe imbalance: %d vs %d", a.Reads, b.Reads)
+	}
+	total := a.Reads + b.Reads
+	if total != 256*8 {
+		t.Fatalf("total reads = %d, want 2048 blocks", total)
+	}
+	if a.Reads < total/4 || b.Reads < total/4 {
+		t.Errorf("stripe skew: %d vs %d", a.Reads, b.Reads)
+	}
+	// Aggregated stats match the per-node sum.
+	agg, err := sc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Reads != total {
+		t.Errorf("aggregate reads = %d", agg.Reads)
+	}
+}
+
+func TestStripedClientStickyRouting(t *testing.T) {
+	be := store.NewMem()
+	be.AddVolume(0, 0, 1<<24)
+	addrs := []string{startNode(t, be), startNode(t, be), startNode(t, be), startNode(t, be)}
+	sc, err := NewStripedClient(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	// Repeated access to one extent must always route to the same node, so
+	// the block gets hot there (cache admission needs stable routing).
+	buf := make([]byte, 4096)
+	for i := 0; i < 4; i++ {
+		if err := sc.ReadAt(0, 0, buf, 81920); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg, err := sc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With sticky routing and a T1=1/T2=1 sieve, the extent is admitted
+	// after the first miss and the remaining reads hit.
+	if agg.ReadHits < 8*2 {
+		t.Errorf("hits = %d; routing not sticky?", agg.ReadHits)
+	}
+}
+
+func TestStripedClientErrors(t *testing.T) {
+	if _, err := NewStripedClient(); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := NewStripedClient("127.0.0.1:1"); err == nil {
+		t.Error("dead node accepted")
+	}
+}
+
+func TestHierarchicalCachingOverStripes(t *testing.T) {
+	// StripedClient satisfies core.Backend, so a local SieveStore can cache
+	// over a striped fleet of remote SieveStore appliances — a two-level
+	// hierarchy (per-rack cache in front of the shared appliance tier).
+	be := store.NewMem()
+	be.AddVolume(0, 0, 1<<24)
+	addrs := []string{startNode(t, be), startNode(t, be)}
+	sc, err := NewStripedClient(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	local, err := core.Open(sc, core.Options{
+		CacheBytes: 64 * block.Size,
+		SieveC:     sieve.CConfig{IMCTSize: 1 << 10, T1: 1, T2: 1, Window: time.Hour, Subwindows: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	// Seed data through the hierarchy and read it back repeatedly.
+	data := bytes.Repeat([]byte{0x3C}, 4096)
+	if err := local.WriteAt(0, 0, data, 8192); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for i := 0; i < 4; i++ {
+		if err := local.ReadAt(0, 0, buf, 8192); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("hierarchy corrupted data")
+	}
+	// The local tier absorbed the repeats: the remote tier saw only the
+	// first round of traffic.
+	localStats := local.Stats()
+	if localStats.ReadHits == 0 {
+		t.Error("local tier never hit")
+	}
+	remote, err := sc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Reads >= localStats.Reads {
+		t.Errorf("remote tier saw %d reads, local issued %d — hierarchy not absorbing",
+			remote.Reads, localStats.Reads)
+	}
+	// The origin backend holds the written data (both tiers write through).
+	if err := be.ReadAt(0, 0, buf, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Error("origin missing data")
+	}
+}

@@ -1,0 +1,184 @@
+// Package cache implements the disk-cache tag store used by every
+// SieveStore configuration: a fully-associative cache of 512-byte block
+// frames with LRU replacement (the paper's continuous configurations —
+// SieveStore-C, AOD, WMNA — all share this replacement policy, §4), plus
+// the batch-replacement operation SieveStore-D's discrete epochs use.
+//
+// The package tracks only metadata (tags and recency); data movement is the
+// concern of internal/store and internal/core.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+)
+
+// node is an intrusive doubly-linked LRU list element.
+type node struct {
+	key        block.Key
+	prev, next *node
+}
+
+// Cache is a fully-associative, LRU-replacement tag store. It is not
+// goroutine-safe; concurrent users (internal/core) serialize access.
+type Cache struct {
+	capacity int
+	table    map[block.Key]*node
+	// head.next is the MRU element, tail.prev the LRU victim.
+	head, tail node
+	// free keeps evicted nodes for reuse to avoid steady-state allocation.
+	free *node
+}
+
+// New returns a cache with the given capacity in blocks.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		panic(fmt.Sprintf("cache: capacity must be ≥1, got %d", capacity))
+	}
+	hint := capacity
+	if hint > 1<<20 {
+		// Don't pre-size gigantic tables; they grow on demand.
+		hint = 1 << 20
+	}
+	c := &Cache{
+		capacity: capacity,
+		table:    make(map[block.Key]*node, hint),
+	}
+	c.head.next = &c.tail
+	c.tail.prev = &c.head
+	return c
+}
+
+// Capacity returns the cache capacity in blocks.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of resident blocks.
+func (c *Cache) Len() int { return len(c.table) }
+
+// Contains reports residency without updating recency.
+func (c *Cache) Contains(key block.Key) bool {
+	_, ok := c.table[key]
+	return ok
+}
+
+// Touch looks up key and, on a hit, promotes it to most-recently-used.
+// It returns whether the block was resident.
+func (c *Cache) Touch(key block.Key) bool {
+	n, ok := c.table[key]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	c.pushFront(n)
+	return true
+}
+
+// Insert allocates a frame for key (as MRU). If the cache is full the LRU
+// block is evicted and returned. Inserting a resident key just promotes it.
+func (c *Cache) Insert(key block.Key) (evicted block.Key, wasEvicted bool) {
+	if n, ok := c.table[key]; ok {
+		c.unlink(n)
+		c.pushFront(n)
+		return 0, false
+	}
+	if len(c.table) >= c.capacity {
+		victim := c.tail.prev
+		c.unlink(victim)
+		delete(c.table, victim.key)
+		evicted, wasEvicted = victim.key, true
+		victim.next = c.free
+		c.free = victim
+	}
+	n := c.alloc(key)
+	c.table[key] = n
+	c.pushFront(n)
+	return evicted, wasEvicted
+}
+
+// Remove evicts key if resident, reporting whether it was.
+func (c *Cache) Remove(key block.Key) bool {
+	n, ok := c.table[key]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	delete(c.table, key)
+	n.next = c.free
+	c.free = n
+	return true
+}
+
+// LRU returns the current replacement victim without evicting it.
+func (c *Cache) LRU() (block.Key, bool) {
+	if len(c.table) == 0 {
+		return 0, false
+	}
+	return c.tail.prev.key, true
+}
+
+// Keys returns the resident blocks from MRU to LRU.
+func (c *Cache) Keys() []block.Key {
+	out := make([]block.Key, 0, len(c.table))
+	for n := c.head.next; n != &c.tail; n = n.next {
+		out = append(out, n.key)
+	}
+	return out
+}
+
+// ReplaceAll installs exactly the given block set, in MRU order of the
+// slice, evicting everything else — SieveStore-D's end-of-epoch batch
+// allocation. It returns the number of blocks that actually had to move in
+// (were not already resident): the paper's observation that replacement and
+// allocation "cancel" for blocks retained across epochs (§3.2). Keys beyond
+// capacity are ignored.
+func (c *Cache) ReplaceAll(keys []block.Key) (moved int) {
+	if len(keys) > c.capacity {
+		keys = keys[:c.capacity]
+	}
+	incoming := make(map[block.Key]bool, len(keys))
+	for _, k := range keys {
+		incoming[k] = true
+	}
+	// Evict residents not in the new set.
+	for n := c.head.next; n != &c.tail; {
+		next := n.next
+		if !incoming[n.key] {
+			c.unlink(n)
+			delete(c.table, n.key)
+			n.next = c.free
+			c.free = n
+		}
+		n = next
+	}
+	// Insert the new set back-to-front so keys[0] ends most-recently-used.
+	for i := len(keys) - 1; i >= 0; i-- {
+		if !c.Contains(keys[i]) {
+			moved++
+		}
+		c.Insert(keys[i])
+	}
+	return moved
+}
+
+func (c *Cache) alloc(key block.Key) *node {
+	if c.free != nil {
+		n := c.free
+		c.free = n.next
+		n.key, n.prev, n.next = key, nil, nil
+		return n
+	}
+	return &node{key: key}
+}
+
+func (c *Cache) unlink(n *node) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+func (c *Cache) pushFront(n *node) {
+	n.prev = &c.head
+	n.next = c.head.next
+	c.head.next.prev = n
+	c.head.next = n
+}

@@ -1,0 +1,177 @@
+package cache
+
+import "repro/internal/block"
+
+// TagStore is the replacement-policy-agnostic cache interface the
+// simulator drives. Cache (LRU), FIFO and Clock all satisfy it; the §3.1
+// replacement ablation swaps them under identical allocation policies to
+// show that no replacement policy rescues unsieved ensemble caching — the
+// allocation-write and pollution problems are the allocation policy's.
+type TagStore interface {
+	// Name identifies the replacement policy.
+	Name() string
+	// Touch looks up key and notes a hit; reports residency.
+	Touch(key block.Key) bool
+	// Contains reports residency without touching.
+	Contains(key block.Key) bool
+	// Insert allocates a frame, evicting a victim when full.
+	Insert(key block.Key) (evicted block.Key, wasEvicted bool)
+	// Len and Capacity report occupancy.
+	Len() int
+	Capacity() int
+}
+
+// Name implements TagStore for the LRU Cache.
+func (c *Cache) Name() string { return "LRU" }
+
+var _ TagStore = (*Cache)(nil)
+
+// FIFO is a first-in-first-out tag store: eviction order is insertion
+// order; hits do not refresh a block's position.
+type FIFO struct {
+	capacity int
+	table    map[block.Key]bool
+	queue    []block.Key
+	head     int
+}
+
+// NewFIFO returns a FIFO tag store with the given capacity in blocks.
+func NewFIFO(capacity int) *FIFO {
+	if capacity < 1 {
+		panic("cache: FIFO capacity must be ≥1")
+	}
+	return &FIFO{capacity: capacity, table: make(map[block.Key]bool)}
+}
+
+// Name implements TagStore.
+func (f *FIFO) Name() string { return "FIFO" }
+
+// Touch implements TagStore (hits do not affect FIFO order).
+func (f *FIFO) Touch(key block.Key) bool { return f.table[key] }
+
+// Contains implements TagStore.
+func (f *FIFO) Contains(key block.Key) bool { return f.table[key] }
+
+// Len implements TagStore.
+func (f *FIFO) Len() int { return len(f.table) }
+
+// Capacity implements TagStore.
+func (f *FIFO) Capacity() int { return f.capacity }
+
+// Insert implements TagStore.
+func (f *FIFO) Insert(key block.Key) (block.Key, bool) {
+	if f.table[key] {
+		return 0, false
+	}
+	var evicted block.Key
+	var wasEvicted bool
+	if len(f.table) >= f.capacity {
+		evicted = f.queue[f.head]
+		f.head++
+		delete(f.table, evicted)
+		wasEvicted = true
+	}
+	f.table[key] = true
+	f.queue = append(f.queue, key)
+	// Compact the drained prefix occasionally.
+	if f.head > f.capacity && f.head*2 > len(f.queue) {
+		f.queue = append(f.queue[:0], f.queue[f.head:]...)
+		f.head = 0
+	}
+	return evicted, wasEvicted
+}
+
+var _ TagStore = (*FIFO)(nil)
+
+// Clock is the classic second-chance approximation of LRU: a circular
+// buffer of frames with reference bits; the hand sweeps past referenced
+// frames (clearing their bit) and evicts the first unreferenced one.
+type Clock struct {
+	capacity int
+	frames   []clockFrame
+	index    map[block.Key]int
+	hand     int
+}
+
+type clockFrame struct {
+	key        block.Key
+	referenced bool
+	used       bool
+}
+
+// NewClock returns a Clock tag store with the given capacity in blocks.
+func NewClock(capacity int) *Clock {
+	if capacity < 1 {
+		panic("cache: Clock capacity must be ≥1")
+	}
+	return &Clock{
+		capacity: capacity,
+		frames:   make([]clockFrame, capacity),
+		index:    make(map[block.Key]int),
+	}
+}
+
+// Name implements TagStore.
+func (c *Clock) Name() string { return "CLOCK" }
+
+// Touch implements TagStore.
+func (c *Clock) Touch(key block.Key) bool {
+	i, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	c.frames[i].referenced = true
+	return true
+}
+
+// Contains implements TagStore.
+func (c *Clock) Contains(key block.Key) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// Len implements TagStore.
+func (c *Clock) Len() int { return len(c.index) }
+
+// Capacity implements TagStore.
+func (c *Clock) Capacity() int { return c.capacity }
+
+// Insert implements TagStore. New frames are installed with the reference
+// bit clear: a block earns its second chance by being touched after
+// insertion. (Installing referenced frames would make every insertion
+// sweep clear the whole ring and degrade CLOCK to FIFO under allocation
+// storms — exactly the regime unsieved policies create.)
+func (c *Clock) Insert(key block.Key) (block.Key, bool) {
+	if i, ok := c.index[key]; ok {
+		c.frames[i].referenced = true
+		return 0, false
+	}
+	// Free frame available?
+	if len(c.index) < c.capacity {
+		for i := range c.frames {
+			slot := (c.hand + i) % c.capacity
+			if !c.frames[slot].used {
+				c.frames[slot] = clockFrame{key: key, used: true}
+				c.index[key] = slot
+				return 0, false
+			}
+		}
+	}
+	// Sweep for a victim.
+	for {
+		f := &c.frames[c.hand]
+		if f.referenced {
+			f.referenced = false
+			c.hand = (c.hand + 1) % c.capacity
+			continue
+		}
+		evicted := f.key
+		delete(c.index, evicted)
+		*f = clockFrame{key: key, used: true}
+		c.index[key] = c.hand
+		c.hand = (c.hand + 1) % c.capacity
+		return evicted, true
+	}
+}
+
+var _ TagStore = (*Clock)(nil)

@@ -1,0 +1,159 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func TestFIFOBasics(t *testing.T) {
+	f := NewFIFO(2)
+	if f.Name() != "FIFO" || f.Capacity() != 2 {
+		t.Error("identity wrong")
+	}
+	f.Insert(key(1))
+	f.Insert(key(2))
+	// Touching 1 must NOT protect it: FIFO evicts insertion order.
+	if !f.Touch(key(1)) {
+		t.Fatal("hit lost")
+	}
+	evicted, ok := f.Insert(key(3))
+	if !ok || evicted != key(1) {
+		t.Errorf("evicted %v, want key 1", evicted)
+	}
+	if f.Len() != 2 || f.Contains(key(1)) || !f.Contains(key(3)) {
+		t.Error("state wrong after eviction")
+	}
+	// Inserting a resident key is a no-op.
+	if _, ok := f.Insert(key(2)); ok {
+		t.Error("resident insert evicted")
+	}
+}
+
+func TestFIFOQueueCompaction(t *testing.T) {
+	f := NewFIFO(4)
+	for i := uint64(0); i < 10000; i++ {
+		f.Insert(key(i))
+	}
+	if f.Len() != 4 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	for i := uint64(9996); i < 10000; i++ {
+		if !f.Contains(key(i)) {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+	if len(f.queue)-f.head > 16 {
+		t.Errorf("queue not compacted: len=%d head=%d", len(f.queue), f.head)
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	c := NewClock(3)
+	if c.Name() != "CLOCK" || c.Capacity() != 3 {
+		t.Error("identity wrong")
+	}
+	c.Insert(key(1))
+	c.Insert(key(2))
+	c.Insert(key(3))
+	// Only key 2 has been touched since insertion.
+	if !c.Touch(key(2)) {
+		t.Fatal("key 2 lost")
+	}
+	// The hand sits at slot 0 (key 1, unreferenced): evicted first.
+	evicted, ok := c.Insert(key(4))
+	if !ok || evicted != key(1) {
+		t.Errorf("evicted %v, want key 1", evicted)
+	}
+	// Next insertion: the sweep reaches key 2 (referenced → second
+	// chance, bit cleared) and evicts key 3 (unreferenced).
+	evicted, ok = c.Insert(key(5))
+	if !ok || evicted != key(3) {
+		t.Errorf("evicted %v, want key 3 (second chance for key 2)", evicted)
+	}
+	if !c.Contains(key(2)) {
+		t.Error("referenced block lost its second chance")
+	}
+	if c.Len() != 3 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestClockApproximatesLRUUnderReuse(t *testing.T) {
+	// A hot block touched between every insertion must survive a long
+	// insertion storm under CLOCK (second chance) but not under FIFO.
+	hot := key(999)
+	clock := NewClock(8)
+	fifo := NewFIFO(8)
+	clock.Insert(hot)
+	fifo.Insert(hot)
+	for i := uint64(0); i < 100; i++ {
+		clock.Touch(hot)
+		fifo.Touch(hot)
+		clock.Insert(key(i))
+		fifo.Insert(key(i))
+	}
+	if !clock.Contains(hot) {
+		t.Error("CLOCK evicted the constantly-referenced block")
+	}
+	if fifo.Contains(hot) {
+		t.Error("FIFO kept a block through 100 insertions at capacity 8")
+	}
+}
+
+// TestTagStoreInvariants drives all three implementations with the same
+// random operation stream and checks the shared invariants.
+func TestTagStoreInvariants(t *testing.T) {
+	stores := []TagStore{New(16), NewFIFO(16), NewClock(16)}
+	for _, s := range stores {
+		t.Run(s.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			resident := make(map[block.Key]bool)
+			for i := 0; i < 20000; i++ {
+				k := key(uint64(rng.Intn(48)))
+				switch rng.Intn(3) {
+				case 0:
+					if got := s.Touch(k); got != resident[k] {
+						t.Fatalf("op %d: Touch(%v) = %v, shadow %v", i, k, got, resident[k])
+					}
+				case 1:
+					evicted, ok := s.Insert(k)
+					if ok {
+						if !resident[evicted] {
+							t.Fatalf("op %d: evicted non-resident %v", i, evicted)
+						}
+						delete(resident, evicted)
+					}
+					resident[k] = true
+				case 2:
+					if got := s.Contains(k); got != resident[k] {
+						t.Fatalf("op %d: Contains(%v) = %v", i, k, got)
+					}
+				}
+				if s.Len() > s.Capacity() {
+					t.Fatalf("op %d: over capacity", i)
+				}
+				if s.Len() != len(resident) {
+					t.Fatalf("op %d: Len %d vs shadow %d", i, s.Len(), len(resident))
+				}
+			}
+		})
+	}
+}
+
+func TestReplacementConstructorsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFIFO(0) },
+		func() { NewClock(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("zero capacity accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestManualRotateDoesNotDoubleFire reproduces a subtle scheduling bug: a
+// manual RotateEpoch just before the scheduled boundary must restart the
+// epoch schedule. Otherwise the next access would trigger the *scheduled*
+// rotation over the freshly-reset (empty) logs and evict everything that
+// the manual rotation just moved in.
+func TestManualRotateDoesNotDoubleFire(t *testing.T) {
+	clk := newFakeClock()
+	s, err := Open(testBackend(), Options{
+		CacheBytes: 64 * 512,
+		Variant:    VariantD,
+		DThreshold: 3,
+		Epoch:      time.Hour,
+		Now:        clk.Now,
+		SpillDir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	buf := make([]byte, 512)
+	for i := 0; i < 5; i++ {
+		if err := s.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Manual rotation one second before the scheduled boundary.
+	clk.Advance(time.Hour - time.Second)
+	if err := s.RotateEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(0, 0, 0) {
+		t.Fatal("manual rotation did not install the hot block")
+	}
+	// Cross the original boundary; the next access must NOT wipe the set.
+	clk.Advance(2 * time.Second)
+	if err := s.ReadAt(0, 0, buf, 512); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(0, 0, 0) {
+		t.Fatal("scheduled rotation double-fired over empty logs and evicted the hot block")
+	}
+	if got := s.Stats().Epochs; got != 1 {
+		t.Errorf("epochs = %d, want 1", got)
+	}
+	// A full epoch after the manual rotation, the schedule resumes.
+	for i := 0; i < 4; i++ {
+		if err := s.ReadAt(0, 0, buf, 1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Hour)
+	if err := s.ReadAt(0, 0, buf, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Epochs; got != 2 {
+		t.Errorf("epochs after resumed schedule = %d, want 2", got)
+	}
+	if !s.Contains(0, 0, 1024) {
+		t.Error("second epoch's hot block not installed")
+	}
+}

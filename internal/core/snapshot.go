@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/block"
+)
+
+// Cache snapshots let an appliance restart warm: the popular-block set the
+// sieve spent a day identifying survives the process. (SieveStore-D's
+// epoch logs already live on disk — see sieved.OpenLogger — so with a
+// snapshot both tiers of state are durable.)
+//
+// Snapshot format:
+//
+//	magic    [4]byte "SVS1"
+//	variant  u8
+//	capacity u64   (blocks)
+//	count    u64   (resident blocks)
+//	entries  count × { key u64 | data [512]byte }   (MRU first)
+//
+// All integers are big-endian.
+
+var snapMagic = [4]byte{'S', 'V', 'S', '1'}
+
+// ErrBadSnapshot reports a malformed or incompatible snapshot stream.
+var ErrBadSnapshot = errors.New("core: bad snapshot")
+
+// SaveSnapshot writes the cache contents (tags and data, MRU→LRU) to w.
+// The store remains usable; the snapshot is a consistent point-in-time
+// image taken under the store lock.
+func (s *Store) SaveSnapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	// Write-back mode: flush first so the backend and the snapshot are a
+	// consistent pair (a restore must be able to trust either copy).
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(snapMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(s.opts.Variant)); err != nil {
+		return err
+	}
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(s.tags.Capacity()))
+	if _, err := bw.Write(u64[:]); err != nil {
+		return err
+	}
+	keys := s.tags.Keys() // MRU → LRU
+	binary.BigEndian.PutUint64(u64[:], uint64(len(keys)))
+	if _, err := bw.Write(u64[:]); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		binary.BigEndian.PutUint64(u64[:], uint64(k))
+		if _, err := bw.Write(u64[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(s.frames[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot replaces the cache contents with a snapshot previously
+// written by SaveSnapshot. Entries beyond the store's capacity are dropped
+// from the cold (LRU) end. The snapshot's data is trusted; if the backing
+// ensemble may have changed while the cache was down, Invalidate the
+// affected ranges (or skip loading).
+func (s *Store) LoadSnapshot(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if magic != snapMagic {
+		return fmt.Errorf("%w: magic %q", ErrBadSnapshot, magic[:])
+	}
+	if _, err := br.ReadByte(); err != nil { // variant: informational only
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	var u64 [8]byte
+	if _, err := io.ReadFull(br, u64[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	// Snapshot capacity is informational; the live capacity governs.
+	if _, err := io.ReadFull(br, u64[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	count := binary.BigEndian.Uint64(u64[:])
+
+	// Drop current contents. Dirty blocks are flushed rather than lost.
+	for _, k := range s.tags.Keys() {
+		if s.dirty[k] {
+			if err := s.flushBlock(k); err != nil {
+				return err
+			}
+		}
+		s.tags.Remove(k)
+		s.free = append(s.free, s.frames[k])
+		delete(s.frames, k)
+	}
+	// Entries arrive MRU-first; cap at capacity, then install in reverse
+	// so the hottest block ends most-recently-used.
+	capacity := uint64(s.tags.Capacity())
+	keep := count
+	if keep > capacity {
+		keep = capacity
+	}
+	type entry struct {
+		key  block.Key
+		data []byte
+	}
+	entries := make([]entry, 0, keep)
+	buf := make([]byte, block.Size)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return fmt.Errorf("%w: entry %d: %v", ErrBadSnapshot, i, err)
+		}
+		k := block.Key(binary.BigEndian.Uint64(u64[:]))
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("%w: entry %d data: %v", ErrBadSnapshot, i, err)
+		}
+		if i < keep {
+			entries = append(entries, entry{key: k, data: append([]byte(nil), buf...)})
+		}
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		if err := s.install(entries[i].key, entries[i].data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

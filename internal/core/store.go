@@ -1,0 +1,643 @@
+// Package core is the SieveStore library proper: a highly-selective,
+// ensemble-level block cache layered over any storage backend.
+//
+// A Store intercepts block I/O destined for a multi-server storage ensemble
+// (the Backend) and serves the popular blocks from a small cache — the
+// paper's SSD — admitting blocks only through a sieve so that the mass of
+// low-reuse blocks costs neither allocation-writes nor pollution:
+//
+//	be := store.NewMem()                       // or any Backend
+//	st, _ := core.Open(be, core.Options{})     // SieveStore-C, 16 GB cache
+//	st.WriteAt(0, 0, data, 0)                  // write-through
+//	st.ReadAt(0, 0, buf, 0)                    // hits served from cache
+//
+// Both paper variants are available: the continuous sieve (SieveStore-C,
+// default) admits a block on its n-th recent miss; the discrete variant
+// (SieveStore-D) logs accesses and batch-allocates the blocks whose epoch
+// access count crosses a threshold, via the offline per-key-reduction
+// pipeline in internal/sieved.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/cache"
+	"repro/internal/sieve"
+	"repro/internal/sieved"
+)
+
+// Backend is the underlying storage ensemble. It matches
+// internal/store.Backend; any implementation may be supplied.
+type Backend interface {
+	ReadAt(server, volume int, p []byte, off uint64) error
+	WriteAt(server, volume int, p []byte, off uint64) error
+}
+
+// Variant selects the sieving mechanism.
+type Variant int
+
+const (
+	// VariantC is SieveStore-C: online, hysteresis-based lazy allocation
+	// through the two-tier IMCT/MCT sieve (§3.3).
+	VariantC Variant = iota
+	// VariantD is SieveStore-D: offline access counting with epoch batch
+	// allocation (§3.2).
+	VariantD
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == VariantD {
+		return "SieveStore-D"
+	}
+	return "SieveStore-C"
+}
+
+// Options configures a Store.
+type Options struct {
+	// CacheBytes is the cache capacity (default 16 GiB; must be a multiple
+	// of the 512-byte block size).
+	CacheBytes int64
+	// Variant selects SieveStore-C (default) or SieveStore-D.
+	Variant Variant
+	// SieveC configures the continuous sieve (VariantC).
+	SieveC sieve.CConfig
+	// DThreshold is the epoch access-count threshold (VariantD; default 10).
+	DThreshold int64
+	// Epoch is the discrete allocation epoch (VariantD; default 24 h).
+	Epoch time.Duration
+	// SpillDir hosts SieveStore-D's partitioned access logs. Empty means a
+	// temporary directory owned (and removed) by the Store.
+	SpillDir string
+	// WriteBack enables write-back caching: writes to cached blocks stay
+	// in the cache (marked dirty) and reach the ensemble only on eviction,
+	// Flush, or Close. The default is write-through (the backend is always
+	// authoritative), which is what the paper's appliance model implies.
+	WriteBack bool
+	// Now supplies time; nil means time.Now. Injectable for tests and
+	// trace replay.
+	Now func() time.Time
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.CacheBytes == 0 {
+		out.CacheBytes = 16 << 30
+	}
+	if out.CacheBytes < block.Size || out.CacheBytes%block.Size != 0 {
+		return out, fmt.Errorf("core: CacheBytes %d must be a positive multiple of %d", out.CacheBytes, block.Size)
+	}
+	if out.SieveC.IMCTSize == 0 {
+		out.SieveC = sieve.DefaultCConfig()
+	}
+	if out.DThreshold == 0 {
+		out.DThreshold = sieved.DefaultThreshold
+	}
+	if out.DThreshold < 1 {
+		return out, fmt.Errorf("core: DThreshold must be ≥1, got %d", out.DThreshold)
+	}
+	if out.Epoch == 0 {
+		out.Epoch = 24 * time.Hour
+	}
+	if out.Epoch < time.Minute {
+		return out, fmt.Errorf("core: Epoch %v too short", out.Epoch)
+	}
+	if out.Now == nil {
+		out.Now = time.Now
+	}
+	return out, nil
+}
+
+// Stats counts the Store's activity. Blocks are 512-byte units.
+type Stats struct {
+	Reads, Writes          int64 // block accesses by kind
+	ReadHits, WriteHits    int64 // blocks served/updated in cache
+	AllocWrites            int64 // blocks written into the cache on admission
+	Evictions              int64 // blocks evicted
+	EpochMoves             int64 // blocks batch-moved at epoch boundaries (VariantD)
+	Epochs                 int64 // completed epoch rotations (VariantD)
+	BackendReads           int64 // read requests issued to the ensemble
+	BackendWrites          int64 // write requests issued to the ensemble
+	CachedBlocks           int64 // current residency
+	CapacityBlocks         int64
+	SieveTrackedBlocks     int64 // precise sieve metastate entries (VariantC)
+	DirtyBlocks            int64 // write-back blocks awaiting flush
+	FlushWrites            int64 // dirty blocks written back to the ensemble
+	BackendBytesRead       int64
+	BackendBytesWritten    int64
+	CacheBytesServed       int64 // bytes of reads served from cache
+	BackendBytesServedRead int64
+}
+
+// Hits returns total block hits.
+func (s Stats) Hits() int64 { return s.ReadHits + s.WriteHits }
+
+// HitRatio returns the captured fraction of block accesses.
+func (s Stats) HitRatio() float64 {
+	total := s.Reads + s.Writes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(total)
+}
+
+// ErrClosed is returned by operations on a closed Store.
+var ErrClosed = errors.New("core: store is closed")
+
+// ErrAlignment rejects I/O that is not 512-byte aligned.
+var ErrAlignment = errors.New("core: offset and length must be multiples of 512")
+
+// Store is a SieveStore cache instance. It is safe for concurrent use.
+type Store struct {
+	backend Backend
+	opts    Options
+
+	mu     sync.Mutex
+	tags   *cache.Cache
+	frames map[block.Key][]byte
+	dirty  map[block.Key]bool
+	free   [][]byte
+	sieveC *sieve.C
+	logger *sieved.Logger
+	// epoch state (VariantD)
+	start    time.Time
+	curEpoch int64
+	ownSpill string // temp dir to remove on Close, if any
+	stats    Stats
+	closed   bool
+}
+
+// Open validates opts and returns a ready Store over backend.
+func Open(backend Backend, opts Options) (*Store, error) {
+	if backend == nil {
+		return nil, errors.New("core: nil backend")
+	}
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		backend: backend,
+		opts:    o,
+		tags:    cache.New(int(o.CacheBytes / block.Size)),
+		frames:  make(map[block.Key][]byte),
+		dirty:   make(map[block.Key]bool),
+		start:   o.Now(),
+	}
+	s.stats.CapacityBlocks = o.CacheBytes / block.Size
+	switch o.Variant {
+	case VariantC:
+		sc, err := sieve.NewC(o.SieveC)
+		if err != nil {
+			return nil, err
+		}
+		s.sieveC = sc
+	case VariantD:
+		dir := o.SpillDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "sievestore-spill-*")
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			s.ownSpill = dir
+		}
+		logger, err := sieved.NewLogger(dir, sieved.DefaultPartitions)
+		if err != nil {
+			if s.ownSpill != "" {
+				os.RemoveAll(s.ownSpill)
+			}
+			return nil, err
+		}
+		s.logger = logger
+	default:
+		return nil, fmt.Errorf("core: unknown variant %d", o.Variant)
+	}
+	return s, nil
+}
+
+// Variant returns the store's sieving variant.
+func (s *Store) Variant() Variant { return s.opts.Variant }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.CachedBlocks = int64(s.tags.Len())
+	st.DirtyBlocks = int64(len(s.dirty))
+	if s.sieveC != nil {
+		st.SieveTrackedBlocks = int64(s.sieveC.Stats().MCTSize)
+	}
+	return st
+}
+
+// Close releases the store's resources. The backend is untouched (all
+// writes are written through, so no flush is needed).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.flushLocked()
+	s.closed = true
+	if s.logger != nil {
+		if lerr := s.logger.Close(); err == nil {
+			err = lerr
+		}
+	}
+	if s.ownSpill != "" {
+		if rmErr := os.RemoveAll(s.ownSpill); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
+
+// checkIO validates request geometry.
+func checkIO(p []byte, off uint64) error {
+	if off%block.Size != 0 || len(p)%block.Size != 0 || len(p) == 0 {
+		return ErrAlignment
+	}
+	return nil
+}
+
+// ReadAt reads len(p) bytes from the volume at off, serving cached blocks
+// from the cache and the rest from the backend. Missing blocks are offered
+// to the sieve and admitted only if it approves.
+func (s *Store) ReadAt(server, volume int, p []byte, off uint64) error {
+	if err := checkIO(p, off); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.rotateIfDue()
+	nBlocks := len(p) / block.Size
+	first := off / block.Size
+	now := s.now()
+	s.logAccess(server, volume, first, nBlocks)
+	s.stats.Reads += int64(nBlocks)
+
+	// Serve cached blocks; gather missing runs.
+	type run struct{ start, n int }
+	var missing []run
+	for i := 0; i < nBlocks; {
+		key := block.MakeKey(server, volume, first+uint64(i))
+		if s.tags.Touch(key) {
+			copy(p[i*block.Size:(i+1)*block.Size], s.frames[key])
+			s.stats.ReadHits++
+			s.stats.CacheBytesServed += block.Size
+			i++
+			continue
+		}
+		r := run{start: i, n: 1}
+		for i++; i < nBlocks; i++ {
+			k := block.MakeKey(server, volume, first+uint64(i))
+			if s.tags.Contains(k) {
+				break
+			}
+			r.n++
+		}
+		missing = append(missing, r)
+	}
+	// Fetch missing runs from the ensemble.
+	for _, r := range missing {
+		buf := p[r.start*block.Size : (r.start+r.n)*block.Size]
+		if err := s.backend.ReadAt(server, volume, buf, off+uint64(r.start)*block.Size); err != nil {
+			return err
+		}
+		s.stats.BackendReads++
+		s.stats.BackendBytesRead += int64(len(buf))
+		s.stats.BackendBytesServedRead += int64(len(buf))
+		// Offer each fetched block to the sieve.
+		for i := r.start; i < r.start+r.n; i++ {
+			key := block.MakeKey(server, volume, first+uint64(i))
+			if err := s.maybeAdmit(key, p[i*block.Size:(i+1)*block.Size], block.Read, now, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteAt writes p through to the backend, updating cached blocks in place
+// and offering missing blocks to the sieve.
+func (s *Store) WriteAt(server, volume int, p []byte, off uint64) error {
+	if err := checkIO(p, off); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.rotateIfDue()
+	nBlocks := len(p) / block.Size
+	first := off / block.Size
+	now := s.now()
+	s.logAccess(server, volume, first, nBlocks)
+	s.stats.Writes += int64(nBlocks)
+
+	if !s.opts.WriteBack {
+		// Write-through: the backend is always authoritative.
+		if err := s.backend.WriteAt(server, volume, p, off); err != nil {
+			return err
+		}
+		s.stats.BackendWrites++
+		s.stats.BackendBytesWritten += int64(len(p))
+		for i := 0; i < nBlocks; i++ {
+			key := block.MakeKey(server, volume, first+uint64(i))
+			data := p[i*block.Size : (i+1)*block.Size]
+			if s.tags.Touch(key) {
+				copy(s.frames[key], data)
+				s.stats.WriteHits++
+				continue
+			}
+			if err := s.maybeAdmit(key, data, block.Write, now, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Write-back: cached (and newly admitted) blocks absorb the write and
+	// are marked dirty; only the remaining runs reach the backend now.
+	type run struct{ start, n int }
+	var through []run
+	for i := 0; i < nBlocks; i++ {
+		key := block.MakeKey(server, volume, first+uint64(i))
+		data := p[i*block.Size : (i+1)*block.Size]
+		if s.tags.Touch(key) {
+			copy(s.frames[key], data)
+			s.dirty[key] = true
+			s.stats.WriteHits++
+			continue
+		}
+		admitted, err := s.tryAdmit(key, data, block.Write, now, true)
+		if err != nil {
+			return err
+		}
+		if admitted {
+			continue
+		}
+		if n := len(through); n > 0 && through[n-1].start+through[n-1].n == i {
+			through[n-1].n++
+		} else {
+			through = append(through, run{start: i, n: 1})
+		}
+	}
+	for _, r := range through {
+		buf := p[r.start*block.Size : (r.start+r.n)*block.Size]
+		if err := s.backend.WriteAt(server, volume, buf, off+uint64(r.start)*block.Size); err != nil {
+			return err
+		}
+		s.stats.BackendWrites++
+		s.stats.BackendBytesWritten += int64(len(buf))
+	}
+	return nil
+}
+
+// Flush writes every dirty block back to the ensemble (write-back mode).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	for key := range s.dirty {
+		if err := s.flushBlock(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushBlock writes one dirty block back and clears its dirty bit.
+func (s *Store) flushBlock(key block.Key) error {
+	frame, ok := s.frames[key]
+	if !ok {
+		delete(s.dirty, key)
+		return nil
+	}
+	if err := s.backend.WriteAt(key.Server(), key.Volume(), frame, key.Offset()); err != nil {
+		return fmt.Errorf("core: write-back of %v: %w", key, err)
+	}
+	s.stats.BackendWrites++
+	s.stats.BackendBytesWritten += block.Size
+	s.stats.FlushWrites++
+	delete(s.dirty, key)
+	return nil
+}
+
+// now returns the injected current time.
+func (s *Store) now() time.Time { return s.opts.Now() }
+
+// logAccess records the access for the offline sieve (VariantD only).
+func (s *Store) logAccess(server, volume int, first uint64, nBlocks int) {
+	if s.logger == nil {
+		return
+	}
+	for i := 0; i < nBlocks; i++ {
+		// Logging failures must not fail the I/O path; the worst case is a
+		// slightly stale epoch selection. They are surfaced via Close.
+		_ = s.logger.Log(block.MakeKey(server, volume, first+uint64(i)))
+	}
+}
+
+// maybeAdmit consults the sieve (VariantC) and installs the block on
+// approval. VariantD never admits continuously.
+func (s *Store) maybeAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) error {
+	_, err := s.tryAdmit(key, data, kind, now, dirty)
+	return err
+}
+
+// tryAdmit is maybeAdmit reporting whether the block was admitted.
+func (s *Store) tryAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) (bool, error) {
+	if s.sieveC == nil {
+		return false, nil
+	}
+	acc := block.Access{Time: now.Sub(s.start).Nanoseconds(), Key: key, Kind: kind}
+	if !s.sieveC.ShouldAllocate(acc) {
+		return false, nil
+	}
+	if err := s.install(key, data); err != nil {
+		return false, err
+	}
+	if dirty {
+		s.dirty[key] = true
+	}
+	s.stats.AllocWrites++
+	return true, nil
+}
+
+// install copies data into a frame for key, evicting (and, in write-back
+// mode, flushing) the LRU block if full.
+func (s *Store) install(key block.Key, data []byte) error {
+	if s.tags.Len() >= s.tags.Capacity() && !s.tags.Contains(key) {
+		if victim, ok := s.tags.LRU(); ok && s.dirty[victim] {
+			if err := s.flushBlock(victim); err != nil {
+				return err
+			}
+		}
+	}
+	if victim, evicted := s.tags.Insert(key); evicted {
+		s.stats.Evictions++
+		s.free = append(s.free, s.frames[victim])
+		delete(s.frames, victim)
+	}
+	frame := s.alloc()
+	copy(frame, data)
+	s.frames[key] = frame
+	return nil
+}
+
+func (s *Store) alloc() []byte {
+	if n := len(s.free); n > 0 {
+		f := s.free[n-1]
+		s.free = s.free[:n-1]
+		return f
+	}
+	return make([]byte, block.Size)
+}
+
+// rotateIfDue rotates VariantD epochs that have elapsed.
+func (s *Store) rotateIfDue() {
+	if s.logger == nil {
+		return
+	}
+	epoch := int64(s.now().Sub(s.start) / s.opts.Epoch)
+	for s.curEpoch < epoch {
+		s.curEpoch++
+		if err := s.rotateLocked(); err != nil {
+			// Epoch rotation failure leaves the previous epoch's set in
+			// place; counting resumes with the next epoch.
+			return
+		}
+	}
+}
+
+// RotateEpoch forces an immediate SieveStore-D epoch boundary: the current
+// logs are reduced, qualifying blocks are batch-allocated (fetching their
+// data from the ensemble), and the logs reset. The epoch schedule restarts
+// from here — the next automatic rotation happens one full Epoch after the
+// epoch containing the current time, not at the originally scheduled
+// boundary (otherwise a near-boundary manual rotation would immediately be
+// followed by an automatic one over empty logs, wiping the cache). It is a
+// no-op for VariantC.
+func (s *Store) RotateEpoch() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.logger == nil {
+		return nil
+	}
+	if err := s.rotateLocked(); err != nil {
+		return err
+	}
+	// Restart the schedule: the next automatic rotation is one full Epoch
+	// from now. (start is only used for epoch scheduling under VariantD.)
+	s.start = s.now()
+	s.curEpoch = 0
+	return nil
+}
+
+func (s *Store) rotateLocked() error {
+	selected, err := s.logger.EndEpoch(s.opts.DThreshold)
+	if err != nil {
+		return err
+	}
+	if cap := s.tags.Capacity(); len(selected) > cap {
+		selected = selected[:cap]
+	}
+	s.stats.Epochs++
+	// Evict everything not in the new set, then move in the new blocks.
+	inNew := make(map[block.Key]bool, len(selected))
+	for _, k := range selected {
+		inNew[k] = true
+	}
+	for _, k := range s.tags.Keys() {
+		if !inNew[k] {
+			if s.dirty[k] {
+				if err := s.flushBlock(k); err != nil {
+					return err
+				}
+			}
+			s.tags.Remove(k)
+			s.free = append(s.free, s.frames[k])
+			delete(s.frames, k)
+			s.stats.Evictions++
+		}
+	}
+	buf := make([]byte, block.Size)
+	for _, k := range selected {
+		if s.tags.Contains(k) {
+			continue // retained across epochs: replacement cancels allocation
+		}
+		if err := s.backend.ReadAt(k.Server(), k.Volume(), buf, k.Offset()); err != nil {
+			return fmt.Errorf("core: epoch move for %v: %w", k, err)
+		}
+		s.stats.BackendReads++
+		s.stats.BackendBytesRead += block.Size
+		if err := s.install(k, buf); err != nil {
+			return err
+		}
+		s.stats.EpochMoves++
+	}
+	return nil
+}
+
+// Contains reports whether a block is currently cached (test/debug aid).
+func (s *Store) Contains(server, volume int, off uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tags.Contains(block.MakeKey(server, volume, off/block.Size))
+}
+
+// Invalidate drops any cached blocks overlapping [off, off+length) of the
+// volume, returning how many were resident. Use it when the backing
+// ensemble is modified outside the Store (the write-through design makes
+// this unnecessary for I/O that goes through the Store itself).
+func (s *Store) Invalidate(server, volume int, off uint64, length int) (int, error) {
+	if off%block.Size != 0 || length%block.Size != 0 || length <= 0 {
+		return 0, ErrAlignment
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	first := off / block.Size
+	dropped := 0
+	for i := 0; i < length/block.Size; i++ {
+		key := block.MakeKey(server, volume, first+uint64(i))
+		if !s.tags.Contains(key) {
+			continue
+		}
+		// A dirty block holds the only current copy: write it back before
+		// dropping, or the data would be lost.
+		if s.dirty[key] {
+			if err := s.flushBlock(key); err != nil {
+				return dropped, err
+			}
+		}
+		s.tags.Remove(key)
+		s.free = append(s.free, s.frames[key])
+		delete(s.frames, key)
+		dropped++
+	}
+	return dropped, nil
+}

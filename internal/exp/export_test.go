@@ -1,0 +1,285 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestExportCSV(t *testing.T) {
+	res := results(t)
+	dir := t.TempDir()
+	paths, err := res.ExportCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig2a_access_counts.csv", "fig2bc_cdf.csv", "fig3d_composition.csv",
+		"fig5_captured.csv", "fig6_alloc_writes.csv", "fig7_ssd_ops.csv",
+		"fig8_occupancy.csv", "fig9_drives.csv", "sec53_perserver.csv",
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("wrote %d files, want %d: %v", len(paths), len(want), paths)
+	}
+	for i, name := range want {
+		if filepath.Base(paths[i]) != name {
+			t.Errorf("file %d = %s, want %s", i, filepath.Base(paths[i]), name)
+		}
+		data, err := os.ReadFile(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s has no data rows", name)
+			continue
+		}
+		// Every row must have the header's column count.
+		cols := len(strings.Split(lines[0], ","))
+		for j, l := range lines[1:] {
+			if got := len(strings.Split(l, ",")); got != cols {
+				t.Errorf("%s row %d: %d cols, want %d", name, j+1, got, cols)
+				break
+			}
+		}
+	}
+	// fig5 must contain every policy.
+	data, _ := os.ReadFile(filepath.Join(dir, "fig5_captured.csv"))
+	for p := 0; p < numPolicies; p++ {
+		if !strings.Contains(string(data), PolicyName(p)) {
+			t.Errorf("fig5 CSV missing %s", PolicyName(p))
+		}
+	}
+}
+
+func TestScalingAndNetwork(t *testing.T) {
+	res := results(t)
+	table := res.Scaling(PSieveC, []float64{1, 4, 16})
+	if len(table) != 3 {
+		t.Fatalf("rows = %d", len(table))
+	}
+	for i := 1; i < len(table); i++ {
+		if table[i].Drives < table[i-1].Drives {
+			t.Error("drive needs must grow with load")
+		}
+	}
+	if table[0].Drives < 1 {
+		t.Error("at least one drive")
+	}
+	maxOcc, worst := res.Network(PSieveC)
+	if maxOcc < 0 || maxOcc > 2 {
+		t.Errorf("network occupancy = %v, implausible", maxOcc)
+	}
+	if worst < 0.4 || worst > 0.7 {
+		t.Errorf("worst-case SSD fraction = %v, want ≈0.5", worst)
+	}
+	report := res.ScalingReport()
+	if !strings.Contains(report, "ensemble load") || !strings.Contains(report, "network") {
+		t.Errorf("report incomplete:\n%s", report)
+	}
+}
+
+func TestQuadrants(t *testing.T) {
+	rows, err := Quadrants(DefaultConfig(expTestScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	qI, qII, qIII, qIV := rows[0], rows[1], rows[2], rows[3]
+	// Quadrant I must dominate on hits and be cheapest on drives.
+	if qI.HitRatio <= qII.HitRatio || qI.HitRatio <= qIII.HitRatio {
+		t.Errorf("quadrant I not dominant: %+v", rows)
+	}
+	if qI.Drives > qIII.Drives || qI.Drives > qIV.Drives {
+		t.Errorf("quadrant I not cheapest: I=%d III=%d IV=%d", qI.Drives, qIII.Drives, qIV.Drives)
+	}
+	// Per-server configurations pay at least one device per server.
+	if qIII.Drives < 13 || qIV.Drives < 13 {
+		t.Errorf("per-server drive floor missing: III=%d IV=%d", qIII.Drives, qIV.Drives)
+	}
+	// Sieving slashes allocation-writes in both deployment styles.
+	if qI.AllocWrites*20 > qII.AllocWrites || qIV.AllocWrites*20 > qIII.AllocWrites {
+		t.Errorf("sieving not reducing alloc-writes: %+v", rows)
+	}
+	out := FormatQuadrants(rows)
+	if !strings.Contains(out, "Quadrant I dominates") {
+		t.Errorf("format incomplete:\n%s", out)
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	res := results(t)
+	out := res.LatencyTable()
+	if !strings.Contains(out, "SieveStore-C") || !strings.Contains(out, "speedup") {
+		t.Errorf("latency table incomplete:\n%s", out)
+	}
+	// SieveStore-C must show a larger speedup than the unsieved cache.
+	if !strings.Contains(out, "x") {
+		t.Error("no speedup column rendered")
+	}
+}
+
+func TestAblationReplacement(t *testing.T) {
+	rows, err := AblationReplacement(DefaultConfig(expTestScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(rows[0].Name, "SieveStore-C") {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+	// §3.1: no replacement policy rescues the unsieved cache.
+	for _, r := range rows[1:] {
+		if r.HitRatio >= rows[0].HitRatio {
+			t.Errorf("unsieved %s (%.3f) matched sieved (%.3f)", r.Name, r.HitRatio, rows[0].HitRatio)
+		}
+		if r.AllocWrites < 10*rows[0].AllocWrites {
+			t.Errorf("unsieved %s alloc-writes (%d) not dominated", r.Name, r.AllocWrites)
+		}
+	}
+	// The unsieved variants cluster: replacement choice moves the needle
+	// far less than sieving does.
+	lo, hi := rows[1].HitRatio, rows[1].HitRatio
+	for _, r := range rows[2:] {
+		if r.HitRatio < lo {
+			lo = r.HitRatio
+		}
+		if r.HitRatio > hi {
+			hi = r.HitRatio
+		}
+	}
+	if hi-lo > rows[0].HitRatio-hi {
+		t.Errorf("replacement spread (%.3f) exceeds the sieving gap (%.3f)", hi-lo, rows[0].HitRatio-hi)
+	}
+	out := FormatReplacement(rows)
+	if !strings.Contains(out, "behind the sieved cache") {
+		t.Errorf("format incomplete:\n%s", out)
+	}
+}
+
+func TestRunMinOracle(t *testing.T) {
+	cfg := DefaultConfig(expTestScale)
+	rows, err := RunMinOracle(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	aod, sel := rows[0], rows[1]
+	// MIN maximizes hits: at least as many as the day's measured ideal.
+	res := results(t)
+	if aod.HitRatio() < res.Policies[PIdeal].Days[2].HitRatio()*0.9 {
+		t.Errorf("MIN-AOD hit ratio %.3f below ideal's %.3f", aod.HitRatio(),
+			res.Policies[PIdeal].Days[2].HitRatio())
+	}
+	// Selective allocation never hits less than AOD under MIN... it can
+	// only skip useless allocations, so hits match or exceed.
+	if sel.Hits < aod.Hits {
+		t.Errorf("selective MIN hits %d < AOD MIN hits %d", sel.Hits, aod.Hits)
+	}
+	// The §3.1 punchline: AOD pays an allocation-write on every miss.
+	if aod.Hits+aod.AllocWrites != aod.Accesses {
+		t.Error("MIN-AOD conservation broken")
+	}
+	// And even selective oracle allocation uses far more allocation-writes
+	// than the sieve (which allocates ~0.1-1% of accesses).
+	cAllocs := res.Policies[PSieveC].Days[2].AllocWrites
+	if sel.AllocWrites < 5*cAllocs {
+		t.Errorf("oracle-selective allocs %d vs sieve %d: expected a wide gap", sel.AllocWrites, cAllocs)
+	}
+	out := FormatOracle(rows, res.Policies[PSieveC].Days[2])
+	if !strings.Contains(out, "SieveStore-C") {
+		t.Errorf("format incomplete:\n%s", out)
+	}
+}
+
+func TestRunFromTraceDir(t *testing.T) {
+	// Write the synthetic trace to a day directory, then run the full
+	// evaluation from the files: results must match the generator run
+	// exactly (same trace, same seeds).
+	cfg := DefaultConfig(expTestScale)
+	cfg.Workload.Days = 3
+	gen, err := workload.New(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := trace.SplitByDay(gen.Reader(), dir); err != nil {
+		t.Fatal(err)
+	}
+
+	fromGen, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgDir := cfg
+	cfgDir.TraceDir = dir
+	fromDir, err := Run(cfgDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDir.Days != 3 {
+		t.Fatalf("days = %d", fromDir.Days)
+	}
+	for p := 0; p < numPolicies; p++ {
+		g := fromGen.Policies[p].Total()
+		d := fromDir.Policies[p].Total()
+		if g.Hits() != d.Hits() || g.Accesses != d.Accesses || g.AllocWrites != d.AllocWrites {
+			t.Errorf("%s: generator %+v vs tracedir %+v", PolicyName(p), g, d)
+		}
+	}
+	if len(fromDir.ServerNames) != 13 {
+		t.Errorf("discovered %d servers", len(fromDir.ServerNames))
+	}
+	for _, di := range fromDir.DayInfo {
+		if len(di.Composition) != len(fromDir.ServerNames) {
+			t.Errorf("day %d composition has %d entries", di.Day, len(di.Composition))
+		}
+	}
+	// Renderers must work without the synthetic name table.
+	if out := fromDir.Table1(); !strings.Contains(out, "server0") {
+		t.Errorf("Table1 from tracedir:\n%s", out)
+	}
+	if out := fromDir.Fig5(); !strings.Contains(out, "SieveStore-C") {
+		t.Error("Fig5 from tracedir broken")
+	}
+}
+
+func TestSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple full runs")
+	}
+	cfg := DefaultConfig(expTestScale * 2)
+	rows, err := SeedSweep(cfg, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The headline must hold for every seed: sieving beats unsieved.
+		if r.GainC <= 1.0 {
+			t.Errorf("seed %d: SieveStore-C gain %.2f ≤ 1", r.Seed, r.GainC)
+		}
+		if r.Ideal <= 0.05 || r.Ideal >= 0.6 {
+			t.Errorf("seed %d: ideal hit %.3f implausible", r.Seed, r.Ideal)
+		}
+	}
+	// Different seeds produce different traces.
+	if rows[0].Ideal == rows[1].Ideal && rows[1].Ideal == rows[2].Ideal {
+		t.Error("seeds did not change the trace")
+	}
+	if !strings.Contains(FormatSeedSweep(rows), "C-gain") {
+		t.Error("format incomplete")
+	}
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sieve"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// This file runs the paper's Figure 1 design space as an executable 2×2
+// matrix: {sieved, unsieved} × {ensemble-level, per-server}. All four
+// quadrants are full continuous-cache simulations at identical total
+// capacity, and the cost column counts physical drives (per-server
+// configurations pay one device per server — the minimum-drive problem the
+// paper notes).
+type QuadrantResult struct {
+	// Quadrant is the paper's numbering: I sieved+ensemble,
+	// II unsieved+ensemble, III unsieved+per-server, IV sieved+per-server.
+	Quadrant string
+	Name     string
+	HitRatio float64
+	// AllocWrites is total cache-fill writes (blocks).
+	AllocWrites int64
+	// Drives is the physical device count at 99.9% time coverage.
+	Drives int
+}
+
+// Quadrants evaluates the 2×2 design space at cfg's scale.
+func Quadrants(cfg Config) ([]QuadrantResult, error) {
+	capacity := cfg.CacheBlocks(cfg.CacheGB)
+	servers := len(cfg.Workload.Servers)
+	spec := Device()
+	scale := float64(cfg.Workload.Scale)
+
+	newGen := func() (*workload.Generator, error) { return workload.New(cfg.Workload) }
+	newSieve := func(imct int) (sieve.Policy, error) {
+		sc := cfg.SieveC
+		if imct > 0 {
+			sc.IMCTSize = imct
+		}
+		return sieve.NewC(sc)
+	}
+
+	var out []QuadrantResult
+
+	// Quadrant I: SieveStore — sieved, ensemble-level.
+	gen, err := newGen()
+	if err != nil {
+		return nil, err
+	}
+	policy, err := newSieve(0)
+	if err != nil {
+		return nil, err
+	}
+	resI, err := sim.RunContinuous(gen, capacity, policy)
+	if err != nil {
+		return nil, err
+	}
+	loadsI := metrics.ScaleLoads(resI.Minutes, scale)
+	out = append(out, QuadrantResult{
+		Quadrant: "I", Name: "SieveStore-C (sieved, ensemble)",
+		HitRatio:    resI.Total().HitRatio(),
+		AllocWrites: resI.Total().AllocWrites,
+		Drives:      ssd.DrivesAtCoverage(ssd.DrivesNeeded(&spec, loadsI), 0.999),
+	})
+
+	// Quadrant II: unsieved, ensemble-level (WMNA, the stronger baseline).
+	gen, err = newGen()
+	if err != nil {
+		return nil, err
+	}
+	resII, err := sim.RunContinuous(gen, capacity, sieve.WMNA{})
+	if err != nil {
+		return nil, err
+	}
+	loadsII := metrics.ScaleLoads(resII.Minutes, scale)
+	out = append(out, QuadrantResult{
+		Quadrant: "II", Name: "WMNA (unsieved, ensemble)",
+		HitRatio:    resII.Total().HitRatio(),
+		AllocWrites: resII.Total().AllocWrites,
+		Drives:      ssd.DrivesAtCoverage(ssd.DrivesNeeded(&spec, loadsII), 0.999),
+	})
+
+	// Quadrant III: unsieved, per-server.
+	gen, err = newGen()
+	if err != nil {
+		return nil, err
+	}
+	combIII, perIII, err := sim.RunPerServerContinuous(gen, servers, capacity,
+		func(int) (sieve.Policy, error) { return sieve.WMNA{}, nil })
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, QuadrantResult{
+		Quadrant: "III", Name: "WMNA (unsieved, per-server)",
+		HitRatio:    combIII.Total().HitRatio(),
+		AllocWrites: combIII.Total().AllocWrites,
+		Drives:      perServerDrives(&spec, perIII, scale),
+	})
+
+	// Quadrant IV: sieved, per-server.
+	gen, err = newGen()
+	if err != nil {
+		return nil, err
+	}
+	perSieveIMCT := cfg.SieveC.IMCTSize / servers
+	if perSieveIMCT < 256 {
+		perSieveIMCT = 256
+	}
+	combIV, perIV, err := sim.RunPerServerContinuous(gen, servers, capacity,
+		func(int) (sieve.Policy, error) { return newSieve(perSieveIMCT) })
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, QuadrantResult{
+		Quadrant: "IV", Name: "SieveStore-C (sieved, per-server)",
+		HitRatio:    combIV.Total().HitRatio(),
+		AllocWrites: combIV.Total().AllocWrites,
+		Drives:      perServerDrives(&spec, perIV, scale),
+	})
+	return out, nil
+}
+
+func perServerDrives(spec *ssd.DeviceSpec, perServer []*sim.Result, scale float64) int {
+	scaled := make([]*sim.Result, len(perServer))
+	for i, r := range perServer {
+		scaled[i] = &sim.Result{Name: r.Name, Days: r.Days, Minutes: metrics.ScaleLoads(r.Minutes, scale)}
+	}
+	return sim.PerServerDriveNeeds(spec, scaled, 0.999)
+}
+
+// FormatQuadrants renders the Figure 1 matrix.
+func FormatQuadrants(rows []QuadrantResult) string {
+	var b strings.Builder
+	line(&b, "Figure 1 design space (equal total capacity; drives at 99.9%% coverage):")
+	line(&b, "%-4s %-36s %8s %14s %8s", "Q", "Configuration", "Hit%", "AllocWrites", "Drives")
+	for _, r := range rows {
+		line(&b, "%-4s %-36s %8.2f %14d %8d", r.Quadrant, r.Name, 100*r.HitRatio, r.AllocWrites, r.Drives)
+	}
+	if len(rows) == 4 {
+		line(&b, "Quadrant I dominates: most hits (vs II: %+.0f%%, vs IV: %+.0f%%) at the fewest drives.",
+			100*(rows[0].HitRatio/rows[1].HitRatio-1), 100*(rows[0].HitRatio/rows[3].HitRatio-1))
+	}
+	return b.String()
+}

@@ -1,0 +1,429 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/block"
+	"repro/internal/cache"
+	"repro/internal/sieve"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file implements the paper's sensitivity analyses (§5.1) and the
+// design-choice ablations DESIGN.md calls out.
+
+// DThresholdRow is one point of the SieveStore-D threshold sweep.
+type DThresholdRow struct {
+	Threshold int64
+	// HitRatio is the whole-trace capture ratio (excluding the bootstrap
+	// day, which no threshold can help).
+	HitRatio float64
+	// Moves is the total number of epoch batch moves.
+	Moves int64
+}
+
+// SensitivityD sweeps SieveStore-D's epoch threshold. The discrete model
+// makes this computable from per-day counters alone: day d's hits under
+// threshold t are the day-d counts of blocks whose day-(d-1) count
+// reached t.
+func SensitivityD(cfg Config, thresholds []int64) ([]DThresholdRow, error) {
+	gen, err := workload.New(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	days := cfg.Workload.Days
+	counters := make([]*analysis.Counter, days)
+	for d := 0; d < days; d++ {
+		reqs, err := gen.Day(d)
+		if err != nil {
+			return nil, err
+		}
+		c := analysis.NewCounter()
+		for i := range reqs {
+			c.AddRequest(&reqs[i])
+		}
+		counters[d] = c
+	}
+	var totalAccesses int64
+	for d := 1; d < days; d++ {
+		totalAccesses += counters[d].Total()
+	}
+	capacity := cfg.CacheBlocks(cfg.CacheGB)
+	rows := make([]DThresholdRow, 0, len(thresholds))
+	for _, t := range thresholds {
+		var hits, moves int64
+		var prev map[block.Key]bool
+		for d := 0; d < days; d++ {
+			// TopFraction(1.0) is sorted hottest-first, so truncating at
+			// the cache capacity keeps the hottest qualifying blocks —
+			// exactly what the batch allocator does.
+			sel := make(map[block.Key]bool)
+			for _, k := range counters[d].TopFraction(1.0) {
+				if counters[d].Count(k) < t || len(sel) >= capacity {
+					break
+				}
+				sel[k] = true
+			}
+			if d > 0 {
+				for k := range prev {
+					hits += counters[d].Count(k)
+				}
+			}
+			for k := range sel {
+				if !prev[k] {
+					moves++
+				}
+			}
+			prev = sel
+		}
+		ratio := 0.0
+		if totalAccesses > 0 {
+			ratio = float64(hits) / float64(totalAccesses)
+		}
+		rows = append(rows, DThresholdRow{Threshold: t, HitRatio: ratio, Moves: moves})
+	}
+	return rows, nil
+}
+
+// CWindowRow is one point of the SieveStore-C window sweep.
+type CWindowRow struct {
+	Window   time.Duration
+	HitRatio float64
+	Allocs   int64
+}
+
+// SensitivityCWindow reruns SieveStore-C with different sliding-window
+// lengths W (the paper observes degradation below 8 h and insensitivity
+// above).
+func SensitivityCWindow(cfg Config, windows []time.Duration) ([]CWindowRow, error) {
+	rows := make([]CWindowRow, 0, len(windows))
+	for _, w := range windows {
+		gen, err := workload.New(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		sc := cfg.SieveC
+		sc.Window = w
+		policy, err := sieve.NewC(sc)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunContinuous(gen, cfg.CacheBlocks(cfg.CacheGB), policy)
+		if err != nil {
+			return nil, err
+		}
+		t := res.Total()
+		rows = append(rows, CWindowRow{Window: w, HitRatio: t.HitRatio(), Allocs: t.AllocWrites})
+	}
+	return rows, nil
+}
+
+// AblationRow compares SieveStore-C against its single-tier (IMCT-only)
+// ablation, which suffers aliased admissions (§3.3's motivation for the
+// MCT).
+type AblationRow struct {
+	Name        string
+	HitRatio    float64
+	AllocWrites int64
+}
+
+// AblationSingleTier runs the two-tier sieve and the single-tier ablation
+// side by side.
+func AblationSingleTier(cfg Config) ([]AblationRow, error) {
+	run := func(p sieve.Policy) (AblationRow, error) {
+		gen, err := workload.New(cfg.Workload)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		res, err := sim.RunContinuous(gen, cfg.CacheBlocks(cfg.CacheGB), p)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		t := res.Total()
+		return AblationRow{Name: p.Name(), HitRatio: t.HitRatio(), AllocWrites: t.AllocWrites}, nil
+	}
+	two, err := sieve.NewC(cfg.SieveC)
+	if err != nil {
+		return nil, err
+	}
+	one, err := sieve.NewSingleTier(cfg.SieveC)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, 2)
+	for _, p := range []sieve.Policy{two, one} {
+		row, err := run(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SubwindowRow compares k-subwindow discretizations of the sliding window.
+type SubwindowRow struct {
+	Subwindows  int
+	HitRatio    float64
+	AllocWrites int64
+}
+
+// AblationSubwindows sweeps the window discretization k (the paper uses
+// k = 4; the ablation shows the discretization loses little accuracy).
+func AblationSubwindows(cfg Config, ks []int) ([]SubwindowRow, error) {
+	rows := make([]SubwindowRow, 0, len(ks))
+	for _, k := range ks {
+		gen, err := workload.New(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		sc := cfg.SieveC
+		sc.Subwindows = k
+		policy, err := sieve.NewC(sc)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunContinuous(gen, cfg.CacheBlocks(cfg.CacheGB), policy)
+		if err != nil {
+			return nil, err
+		}
+		t := res.Total()
+		rows = append(rows, SubwindowRow{Subwindows: k, HitRatio: t.HitRatio(), AllocWrites: t.AllocWrites})
+	}
+	return rows, nil
+}
+
+// FormatSensitivity renders the sensitivity/ablation rows.
+func FormatSensitivity(dRows []DThresholdRow, wRows []CWindowRow, aRows []AblationRow, kRows []SubwindowRow) string {
+	var b strings.Builder
+	line(&b, "Sensitivity (paper §5.1):")
+	line(&b, "  SieveStore-D threshold sweep (hit ratio | moves):")
+	for _, r := range dRows {
+		line(&b, "    t=%-3d  %.3f  %d", r.Threshold, r.HitRatio, r.Moves)
+	}
+	line(&b, "  SieveStore-C window sweep:")
+	for _, r := range wRows {
+		line(&b, "    W=%-6s %.3f  allocs=%d", r.Window, r.HitRatio, r.Allocs)
+	}
+	line(&b, "Ablations:")
+	for _, r := range aRows {
+		line(&b, "  %-18s hit=%.3f alloc-writes=%d", r.Name, r.HitRatio, r.AllocWrites)
+	}
+	if len(aRows) == 2 && aRows[1].AllocWrites > 0 {
+		line(&b, "  (single-tier admits %.1fx the allocation-writes of the two-tier sieve)",
+			float64(aRows[1].AllocWrites)/float64(max64(1, aRows[0].AllocWrites)))
+	}
+	line(&b, "  Subwindow discretization k:")
+	for _, r := range kRows {
+		line(&b, "    k=%-2d  hit=%.3f alloc-writes=%d", r.Subwindows, r.HitRatio, r.AllocWrites)
+	}
+	return b.String()
+}
+
+// ReplacementRow compares replacement policies under a fixed allocation
+// policy.
+type ReplacementRow struct {
+	Name        string
+	HitRatio    float64
+	AllocWrites int64
+}
+
+// AblationReplacement runs the §3.1 demonstration: the unsieved baseline
+// under three replacement policies (LRU, CLOCK, FIFO) against SieveStore-C
+// under plain LRU. No replacement policy can rescue unsieved ensemble
+// caching — the gap belongs to the allocation policy.
+func AblationReplacement(cfg Config) ([]ReplacementRow, error) {
+	capacity := cfg.CacheBlocks(cfg.CacheGB)
+	run := func(tags cache.TagStore, p sieve.Policy) (ReplacementRow, error) {
+		gen, err := workload.New(cfg.Workload)
+		if err != nil {
+			return ReplacementRow{}, err
+		}
+		c := sim.NewContinuousTags(tags, p)
+		for d := 0; d < cfg.Workload.Days; d++ {
+			reqs, err := gen.Day(d)
+			if err != nil {
+				return ReplacementRow{}, err
+			}
+			for i := range reqs {
+				c.Process(&reqs[i])
+			}
+		}
+		res := c.Result(0)
+		t := res.Total()
+		return ReplacementRow{Name: res.Name, HitRatio: t.HitRatio(), AllocWrites: t.AllocWrites}, nil
+	}
+	sieveC, err := sieve.NewC(cfg.SieveC)
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		tags cache.TagStore
+		p    sieve.Policy
+	}{
+		{cache.New(capacity), sieveC},
+		{cache.New(capacity), sieve.WMNA{}},
+		{cache.NewClock(capacity), sieve.WMNA{}},
+		{cache.NewFIFO(capacity), sieve.WMNA{}},
+	}
+	rows := make([]ReplacementRow, 0, len(configs))
+	for _, c := range configs {
+		row, err := run(c.tags, c.p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatReplacement renders the replacement ablation.
+func FormatReplacement(rows []ReplacementRow) string {
+	var b strings.Builder
+	line(&b, "Replacement ablation (§3.1: replacement cannot substitute for sieving):")
+	for _, r := range rows {
+		line(&b, "  %-24s hit=%.3f alloc-writes=%d", r.Name, r.HitRatio, r.AllocWrites)
+	}
+	if len(rows) == 4 {
+		best := rows[1].HitRatio
+		for _, r := range rows[2:] {
+			if r.HitRatio > best {
+				best = r.HitRatio
+			}
+		}
+		line(&b, "  (best unsieved replacement reaches %.3f — still %.0f%% behind the sieved cache)",
+			best, 100*(1-best/rows[0].HitRatio))
+	}
+	return b.String()
+}
+
+// OracleRow is one configuration of the §3.1 oracle experiment over an
+// actual trace day.
+type OracleRow struct {
+	Name        string
+	Hits        int64
+	AllocWrites int64
+	Accesses    int64
+}
+
+// HitRatio returns the captured fraction.
+func (r OracleRow) HitRatio() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Accesses)
+}
+
+// RunMinOracle executes the §3.1 thought experiment on a real trace day:
+// Belady's MIN with allocate-on-demand (the unbeatable replacement policy,
+// still drowning in allocation-writes) and Belady with selective
+// allocation (maximal hits, still orders of magnitude more allocation-
+// writes than sieving needs). Both use clairvoyance no real system has.
+func RunMinOracle(cfg Config, day int) ([]OracleRow, error) {
+	gen, err := workload.New(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := gen.Day(day)
+	if err != nil {
+		return nil, err
+	}
+	var stream []block.Key
+	var buf []block.Access
+	for i := range reqs {
+		buf = trace.Expand(buf[:0], &reqs[i])
+		for _, a := range buf {
+			stream = append(stream, a.Key)
+		}
+	}
+	capacity := cfg.CacheBlocks(cfg.CacheGB)
+	aod := sieve.BeladyAOD(stream, capacity)
+	sel := sieve.BeladySelective(stream, capacity)
+	n := int64(len(stream))
+	return []OracleRow{
+		{Name: "MIN + allocate-on-demand", Hits: int64(aod.Hits), AllocWrites: int64(aod.AllocWrites), Accesses: n},
+		{Name: "MIN + selective-allocation", Hits: int64(sel.Hits), AllocWrites: int64(sel.AllocWrites), Accesses: n},
+	}, nil
+}
+
+// FormatOracle renders the oracle rows next to a measured SieveStore-C day.
+func FormatOracle(rows []OracleRow, sieveC sim.DayStats) string {
+	var b strings.Builder
+	line(&b, "§3.1 oracle experiment on one trace day (clairvoyant baselines):")
+	for _, r := range rows {
+		line(&b, "  %-28s hit=%.3f alloc-writes=%d (%.1f%% of accesses)",
+			r.Name, r.HitRatio(), r.AllocWrites, 100*float64(r.AllocWrites)/float64(r.Accesses))
+	}
+	line(&b, "  %-28s hit=%.3f alloc-writes=%d (%.2f%% of accesses)",
+		"SieveStore-C (no oracle)", sieveC.HitRatio(), sieveC.AllocWrites,
+		100*float64(sieveC.AllocWrites)/float64(max64(1, sieveC.Accesses)))
+	line(&b, "  Even clairvoyant replacement cannot avoid allocation-writes without sieving.")
+	return b.String()
+}
+
+// SieveCDay runs SieveStore-C alone over the trace and returns one day's
+// statistics — a cheap companion for the oracle comparison.
+func SieveCDay(cfg Config, day int) (sim.DayStats, error) {
+	gen, err := workload.New(cfg.Workload)
+	if err != nil {
+		return sim.DayStats{}, err
+	}
+	policy, err := sieve.NewC(cfg.SieveC)
+	if err != nil {
+		return sim.DayStats{}, err
+	}
+	res, err := sim.RunContinuous(gen, cfg.CacheBlocks(cfg.CacheGB), policy)
+	if err != nil {
+		return sim.DayStats{}, err
+	}
+	if day < 0 || day >= len(res.Days) {
+		return sim.DayStats{}, fmt.Errorf("exp: day %d out of range", day)
+	}
+	return res.Days[day], nil
+}
+
+// SeedRow is one trace seed's headline gains.
+type SeedRow struct {
+	Seed  int64
+	GainD float64 // SieveStore-D hits / best unsieved hits (steady days)
+	GainC float64
+	Ideal float64 // whole-trace ideal hit ratio
+}
+
+// SeedSweep reruns the full evaluation across several trace seeds to check
+// that the headline conclusions (sieved > unsieved, orderings) are not
+// artifacts of one random trace instance.
+func SeedSweep(cfg Config, seeds []int64) ([]SeedRow, error) {
+	rows := make([]SeedRow, 0, len(seeds))
+	for _, seed := range seeds {
+		c := cfg
+		c.Workload.Seed = seed
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SeedRow{
+			Seed:  seed,
+			GainD: res.GainOverUnsieved(PSieveD),
+			GainC: res.GainOverUnsieved(PSieveC),
+			Ideal: res.Policies[PIdeal].Total().HitRatio(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatSeedSweep renders the robustness table.
+func FormatSeedSweep(rows []SeedRow) string {
+	var b strings.Builder
+	line(&b, "Seed robustness (gains over the best unsieved configuration):")
+	line(&b, "  %-6s %10s %10s %10s", "seed", "ideal-hit", "D-gain", "C-gain")
+	for _, r := range rows {
+		line(&b, "  %-6d %10.3f %9.2fx %9.2fx", r.Seed, r.Ideal, r.GainD, r.GainC)
+	}
+	return b.String()
+}

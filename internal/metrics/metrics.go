@@ -1,0 +1,90 @@
+// Package metrics accumulates the per-minute SSD load series behind the
+// paper's drive-occupancy analysis (Figures 8 and 9): page-granular read
+// and write operation counts per trace minute, with helpers to densify,
+// scale, and summarize the series.
+package metrics
+
+import "repro/internal/ssd"
+
+// MinuteSeries accumulates 4 KiB-page operation counts per trace minute.
+// The zero value is ready to use.
+type MinuteSeries struct {
+	reads  []float64
+	writes []float64
+}
+
+func (m *MinuteSeries) grow(minute int) {
+	for len(m.reads) <= minute {
+		m.reads = append(m.reads, 0)
+		m.writes = append(m.writes, 0)
+	}
+}
+
+// AddReads charges `pages` read operations to the given minute.
+func (m *MinuteSeries) AddReads(minute int, pages float64) {
+	if minute < 0 {
+		return
+	}
+	m.grow(minute)
+	m.reads[minute] += pages
+}
+
+// AddWrites charges `pages` write operations to the given minute.
+func (m *MinuteSeries) AddWrites(minute int, pages float64) {
+	if minute < 0 {
+		return
+	}
+	m.grow(minute)
+	m.writes[minute] += pages
+}
+
+// Len returns the number of minutes covered (up to the last active one).
+func (m *MinuteSeries) Len() int { return len(m.reads) }
+
+// Loads densifies the series to at least totalMinutes entries (idle minutes
+// appear with zero load, as in the paper's 10 080-minute accounting).
+func (m *MinuteSeries) Loads(totalMinutes int) []ssd.MinuteLoad {
+	n := len(m.reads)
+	if totalMinutes > n {
+		n = totalMinutes
+	}
+	out := make([]ssd.MinuteLoad, n)
+	for i := range out {
+		out[i].Minute = i
+		if i < len(m.reads) {
+			out[i].ReadPages = m.reads[i]
+			out[i].WritePages = m.writes[i]
+		}
+	}
+	return out
+}
+
+// TotalReads returns the total read pages across the series.
+func (m *MinuteSeries) TotalReads() float64 {
+	var t float64
+	for _, v := range m.reads {
+		t += v
+	}
+	return t
+}
+
+// TotalWrites returns the total write pages across the series.
+func (m *MinuteSeries) TotalWrites() float64 {
+	var t float64
+	for _, v := range m.writes {
+		t += v
+	}
+	return t
+}
+
+// ScaleLoads multiplies a load series by factor, returning a new slice.
+// The synthetic workload is generated at 1/Scale of the paper's volume, so
+// occupancy analysis scales the loads back up to paper volume before
+// applying real device IOPS ratings.
+func ScaleLoads(loads []ssd.MinuteLoad, factor float64) []ssd.MinuteLoad {
+	out := make([]ssd.MinuteLoad, len(loads))
+	for i, l := range loads {
+		out[i] = ssd.MinuteLoad{Minute: l.Minute, ReadPages: l.ReadPages * factor, WritePages: l.WritePages * factor}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package replay
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sieve"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// crossScale keeps the cross-validation affordable: a small but non-trivial
+// ensemble trace.
+const crossScale = 65536
+
+func baseTime() time.Time { return time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC) }
+
+// TestCrossValidationSimVsStore is the repository's bridge test: the
+// trace-driven simulator and the real data-path store implement
+// SieveStore-C independently (different code, same policy); replaying the
+// same trace through both must produce closely matching capture behavior.
+// They are not bit-identical by design — the simulator works per-block with
+// completion-time interpolation, the store per-request at issue time — so
+// the comparison uses a tolerance.
+func TestCrossValidationSimVsStore(t *testing.T) {
+	cfg := workload.Default(crossScale)
+	cfg.Days = 4
+	gen, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sieveCfg := sieve.CConfig{
+		IMCTSize: 1 << 28 / crossScale, T1: 9, T2: 4,
+		Window: 8 * time.Hour, Subwindows: 4,
+	}
+	capacityBlocks := 16 << 30 / 512 / crossScale
+
+	// Simulator side.
+	policy, err := sieve.NewC(sieveCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := sim.RunContinuous(gen, capacityBlocks, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Real store side.
+	clk := NewClock(baseTime())
+	st, err := core.Open(BuildBackend(cfg), core.Options{
+		CacheBytes: int64(capacityBlocks) * 512,
+		Variant:    core.VariantC,
+		SieveC:     sieveCfg,
+		Now:        clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reports, err := Run(st, gen, clk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var storeHits, storeAcc, simHits, simAcc int64
+	for d, rep := range reports {
+		storeHits += rep.Hits
+		storeAcc += rep.Accesses
+		simHits += simRes.Days[d].Hits()
+		simAcc += simRes.Days[d].Accesses
+	}
+	if storeAcc == 0 || simAcc == 0 {
+		t.Fatal("empty replay")
+	}
+	// Access counts differ only by block-alignment padding of sub-block
+	// requests (<7% of requests touch extra blocks).
+	if ratio := float64(storeAcc) / float64(simAcc); ratio < 0.98 || ratio > 1.05 {
+		t.Errorf("access streams diverged: store %d vs sim %d", storeAcc, simAcc)
+	}
+	storeRatio := float64(storeHits) / float64(storeAcc)
+	simRatio := float64(simHits) / float64(simAcc)
+	if math.Abs(storeRatio-simRatio) > 0.25*math.Max(simRatio, 0.01) {
+		t.Errorf("hit ratios diverged: store %.4f vs sim %.4f", storeRatio, simRatio)
+	}
+	t.Logf("cross-validation: store hit %.4f vs sim hit %.4f over %d accesses",
+		storeRatio, simRatio, simAcc)
+}
+
+func TestClock(t *testing.T) {
+	clk := NewClock(baseTime())
+	if !clk.Now().Equal(baseTime()) {
+		t.Error("clock not anchored")
+	}
+	clk.Set(int64(90 * time.Minute))
+	if got := clk.Now().Sub(baseTime()); got != 90*time.Minute {
+		t.Errorf("clock = %v", got)
+	}
+}
+
+func TestRunRotatesDaily(t *testing.T) {
+	cfg := workload.Default(crossScale)
+	cfg.Days = 3
+	gen, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := NewClock(baseTime())
+	st, err := core.Open(BuildBackend(cfg), core.Options{
+		CacheBytes: 512 * 512,
+		Variant:    core.VariantD,
+		Epoch:      24 * time.Hour,
+		Now:        clk.Now,
+		SpillDir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reports, err := Run(st, gen, clk, Options{RotateDaily: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].Hits != 0 {
+		t.Error("day 0 should be the bootstrap day")
+	}
+	if reports[2].Hits == 0 {
+		t.Error("no hits after two epochs; rotation broken?")
+	}
+	if st.Stats().Epochs < 3 {
+		t.Errorf("epochs = %d, want ≥3", st.Stats().Epochs)
+	}
+	if reports[1].Moves == 0 && reports[2].Moves == 0 {
+		t.Error("no epoch moves recorded")
+	}
+}
+
+func TestBuildBackendCoversWorkload(t *testing.T) {
+	cfg := workload.Default(crossScale)
+	cfg.Days = 1
+	gen, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := BuildBackend(cfg)
+	reqs, err := gen.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	for i := range reqs {
+		r := &reqs[i]
+		if err := be.ReadAt(r.Server, r.Volume, buf[:r.Length], r.Offset); err != nil {
+			t.Fatalf("request %d (%+v): %v", i, r, err)
+		}
+	}
+}
+
+func TestRunSurfacesBackendErrors(t *testing.T) {
+	cfg := workload.Default(crossScale)
+	cfg.Days = 1
+	gen, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := NewClock(baseTime())
+	faulty := store.NewFaulty(BuildBackend(cfg))
+	st, err := core.Open(faulty, core.Options{CacheBytes: 64 * 512, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	faulty.FailAfter(50)
+	_, err = Run(st, gen, clk, Options{})
+	if err == nil {
+		t.Fatal("injected backend fault not surfaced")
+	}
+	if !strings.Contains(err.Error(), "replay: day 0 request") {
+		t.Errorf("error lacks context: %v", err)
+	}
+}
+
+func TestDayReportHitRatio(t *testing.T) {
+	r := DayReport{Accesses: 100, Hits: 25}
+	if r.HitRatio() != 0.25 {
+		t.Errorf("ratio = %v", r.HitRatio())
+	}
+	if (DayReport{}).HitRatio() != 0 {
+		t.Error("empty day ratio")
+	}
+}

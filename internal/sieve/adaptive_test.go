@@ -1,0 +1,140 @@
+package sieve
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+)
+
+func TestAdaptiveConfigValidate(t *testing.T) {
+	good := DefaultAdaptiveConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*AdaptiveConfig){
+		func(c *AdaptiveConfig) { c.Base.T1 = 0 },
+		func(c *AdaptiveConfig) { c.TargetAllocsPerMille = 0 },
+		func(c *AdaptiveConfig) { c.MinT2 = 0 },
+		func(c *AdaptiveConfig) { c.MaxT2 = c.MinT2 - 1 },
+		func(c *AdaptiveConfig) { c.Base.T2 = c.MaxT2 + 1 },
+		func(c *AdaptiveConfig) { c.AdjustEvery = 0 },
+	}
+	for i, mutate := range bads {
+		cfg := DefaultAdaptiveConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	if _, err := NewAdaptive(AdaptiveConfig{}); err == nil {
+		t.Error("NewAdaptive must validate")
+	}
+}
+
+// missStorm feeds the sieve a stream of misses: `population` distinct
+// blocks in round-robin over `dur`, so every block misses at the same rate.
+func missStorm(a *Adaptive, rng *rand.Rand, population int, start, dur time.Duration, events int) (allocs int) {
+	for i := 0; i < events; i++ {
+		ts := start + time.Duration(float64(dur)*float64(i)/float64(events))
+		key := block.MakeKey(0, 0, uint64(rng.Intn(population)))
+		if a.ShouldAllocate(block.Access{Time: ts.Nanoseconds(), Key: key, Kind: block.Read}) {
+			allocs++
+		}
+	}
+	return allocs
+}
+
+func TestAdaptiveRaisesT2UnderAllocStorm(t *testing.T) {
+	cfg := DefaultAdaptiveConfig()
+	cfg.Base.IMCTSize = 64 // heavy aliasing: everything passes the IMCT
+	cfg.Base.T2 = 2
+	cfg.TargetAllocsPerMille = 2
+	a, err := NewAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	// A small, hammered population: with T2=2 nearly every block qualifies
+	// repeatedly, massively overshooting 2‰. The controller must raise T2.
+	startT2 := a.T2()
+	missStorm(a, rng, 200, 0, 48*time.Hour, 200_000)
+	if a.T2() <= startT2 {
+		t.Errorf("T2 did not rise under allocation storm: %d → %d", startT2, a.T2())
+	}
+	if a.Adjustments() == 0 {
+		t.Error("controller never adjusted")
+	}
+}
+
+func TestAdaptiveLowersT2WhenQuiet(t *testing.T) {
+	cfg := DefaultAdaptiveConfig()
+	cfg.Base.IMCTSize = 1 << 16
+	cfg.Base.T2 = 30
+	cfg.MaxT2 = 64
+	cfg.TargetAllocsPerMille = 5
+	a, err := NewAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	// A huge one-shot population: essentially zero allocations, far below
+	// budget, so the controller should walk T2 down toward MinT2.
+	startT2 := a.T2()
+	missStorm(a, rng, 5_000_000, 0, 48*time.Hour, 300_000)
+	if a.T2() >= startT2 {
+		t.Errorf("T2 did not fall when under budget: %d → %d", startT2, a.T2())
+	}
+}
+
+func TestAdaptiveRespectsBounds(t *testing.T) {
+	cfg := DefaultAdaptiveConfig()
+	cfg.Base.IMCTSize = 16
+	cfg.Base.T2 = 2
+	cfg.MinT2 = 2
+	cfg.MaxT2 = 4
+	cfg.TargetAllocsPerMille = 0.001 // impossible: everything overshoots
+	a, err := NewAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	missStorm(a, rng, 50, 0, 72*time.Hour, 150_000)
+	if a.T2() > cfg.MaxT2 || a.T2() < cfg.MinT2 {
+		t.Errorf("T2 %d escaped bounds [%d,%d]", a.T2(), cfg.MinT2, cfg.MaxT2)
+	}
+	if a.T2() != cfg.MaxT2 {
+		t.Errorf("T2 = %d, want pinned at MaxT2 %d", a.T2(), cfg.MaxT2)
+	}
+}
+
+func TestAdaptiveSteersAllocRateTowardBudget(t *testing.T) {
+	cfg := DefaultAdaptiveConfig()
+	cfg.Base.IMCTSize = 256
+	cfg.Base.T2 = 1
+	cfg.TargetAllocsPerMille = 3
+	a, err := NewAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	// Early phase: T2 starts at 1, so the hammered population allocates
+	// constantly.
+	early := missStorm(a, rng, 500, 0, 12*time.Hour, 60_000)
+	// Warm-up lets the controller climb…
+	missStorm(a, rng, 500, 12*time.Hour, 60*time.Hour, 240_000)
+	// …then measure the steered steady-state rate.
+	late := missStorm(a, rng, 500, 72*time.Hour, 24*time.Hour, 100_000)
+	earlyRate := float64(early) * 1000 / 60_000
+	lateRate := float64(late) * 1000 / 100_000
+	// This workload is hot enough that even MaxT2 cannot reach the 3‰
+	// budget; the controller must still have cut the rate drastically and
+	// pinned T2 high.
+	if lateRate > earlyRate/3 {
+		t.Errorf("controller barely steered: early %.1f‰ → late %.1f‰", earlyRate, lateRate)
+	}
+	if a.T2() < 10 {
+		t.Errorf("T2 = %d after sustained overshoot, want ≫ start", a.T2())
+	}
+}

@@ -1,0 +1,67 @@
+// Package sieve implements SieveStore's allocation policies: the unsieved
+// baselines (allocate-on-demand, write-miss-no-allocate), the random sieve,
+// and SieveStore-C's two-tier hysteresis sieve (IMCT + MCT), plus the
+// analytic §3.1 models (Table 2 and the Belady selective-allocation
+// counterexample).
+//
+// A Policy decides, per missing block access, whether the block is
+// allocated a cache frame. Only sieving policies can bound
+// allocation-writes: the replacement policy (LRU throughout, as in the
+// paper) cannot prevent a low-reuse miss from costing an SSD write.
+package sieve
+
+import (
+	"math/rand"
+
+	"repro/internal/block"
+)
+
+// Policy is a cache-allocation policy for continuous (per-access) caching.
+// Implementations may keep internal metastate about uncached blocks; they
+// are consulted exactly once per missing block access.
+type Policy interface {
+	// Name identifies the policy in reports ("AOD", "SieveStore-C", ...).
+	Name() string
+	// ShouldAllocate reports whether the missing block should be allocated
+	// a frame. It is called only on misses and may mutate policy state.
+	ShouldAllocate(acc block.Access) bool
+}
+
+// AOD is the allocate-on-demand baseline: every miss allocates (Table 3).
+type AOD struct{}
+
+// Name implements Policy.
+func (AOD) Name() string { return "AOD" }
+
+// ShouldAllocate implements Policy: always allocate.
+func (AOD) ShouldAllocate(block.Access) bool { return true }
+
+// WMNA is the write-miss-no-allocate baseline: only read misses allocate
+// (Table 3).
+type WMNA struct{}
+
+// Name implements Policy.
+func (WMNA) Name() string { return "WMNA" }
+
+// ShouldAllocate implements Policy.
+func (WMNA) ShouldAllocate(acc block.Access) bool { return acc.Kind == block.Read }
+
+// RandC is RandSieve-C: it allocates a random fraction of all misses
+// (default 1%), the continuous random-sieving strawman of Figure 5. It
+// demonstrates that SieveStore's gains come from identifying hot blocks,
+// not merely from allocating rarely.
+type RandC struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewRandC returns a RandSieve-C policy allocating fraction p of misses.
+func NewRandC(p float64, seed int64) *RandC {
+	return &RandC{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (r *RandC) Name() string { return "RandSieve-C" }
+
+// ShouldAllocate implements Policy.
+func (r *RandC) ShouldAllocate(block.Access) bool { return r.rng.Float64() < r.P }

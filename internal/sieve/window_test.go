@@ -1,0 +1,91 @@
+package sieve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// exactWindow is a reference implementation: it remembers every miss
+// timestamp and counts those within the exact sliding window.
+type exactWindow struct {
+	times []int64
+}
+
+func (e *exactWindow) bump(now, windowNS int64) int {
+	e.times = append(e.times, now)
+	// Drop everything older than the window.
+	cut := 0
+	for cut < len(e.times) && e.times[cut] <= now-windowNS {
+		cut++
+	}
+	e.times = e.times[cut:]
+	return len(e.times)
+}
+
+// TestWinCounterApproximatesExactWindow checks the paper's k-subwindow
+// discretization (§3.3) against the exact sliding window on random miss
+// streams: the discretized count must always fall between the exact count
+// over the last W-W/k (it may expire up to one subwindow early) and the
+// exact count over W (it never over-counts beyond the full window... it can
+// briefly retain up to one extra subwindow). Concretely we assert the
+// bracketing
+//
+//	exact(W - W/k) ≤ windowed ≤ exact(W + W/k)
+//
+// which is the correctness envelope the paper's design relies on.
+func TestWinCounterApproximatesExactWindow(t *testing.T) {
+	const (
+		k        = 4
+		windowNS = int64(8 * 3600 * 1e9)
+		sub      = windowNS / k
+	)
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var w winCounter
+		lower := &exactWindow{} // window W - sub
+		upper := &exactWindow{} // window W + sub
+		now := int64(0)
+		for i := 0; i < 5000; i++ {
+			// Mixed cadence: mostly short gaps, occasional long idles.
+			if rng.Intn(50) == 0 {
+				now += int64(rng.Int63n(3 * windowNS))
+			} else {
+				now += int64(rng.Int63n(sub / 2))
+			}
+			got := w.bump(now/sub, k)
+			lo := lower.bump(now, windowNS-sub)
+			hi := upper.bump(now, windowNS+sub)
+			if got < lo || got > hi {
+				t.Fatalf("seed %d step %d: windowed count %d outside [%d,%d]",
+					seed, i, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestWinCounterNeverExceedsTotalMisses is a cheap safety property: the
+// windowed count can never exceed the number of bumps.
+func TestWinCounterNeverExceedsTotalMisses(t *testing.T) {
+	var w winCounter
+	for i := 1; i <= 100; i++ {
+		if got := w.bump(int64(i/10), 4); got > i {
+			t.Fatalf("count %d after %d bumps", got, i)
+		}
+	}
+}
+
+// TestWinCounterSaturation: counters are uint16; a pathological hot slot
+// must saturate rather than wrap.
+func TestWinCounterSaturation(t *testing.T) {
+	var w winCounter
+	last := 0
+	for i := 0; i < 70000; i++ {
+		last = w.bump(0, 4)
+	}
+	if last < 65535 {
+		t.Fatalf("count %d after 70000 bumps in one subwindow", last)
+	}
+	if last > 65535*4 {
+		t.Fatalf("count %d wrapped", last)
+	}
+}

@@ -1,0 +1,134 @@
+package sieved
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func TestOpenLoggerResumesEpoch(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := NewLogger(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := l1.Log(key(7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := l1.Log(key(9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l1.Close(); err != nil { // simulate a clean shutdown mid-epoch
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLogger(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	// Continue the epoch: key 9 gets 5 more accesses, crossing the
+	// threshold only if the pre-restart tuples survived.
+	for i := 0; i < 5; i++ {
+		if err := l2.Log(key(9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	selected, err := l2.EndEpoch(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != 2 {
+		t.Fatalf("selected = %v, want keys 7 and 9", selected)
+	}
+	if selected[0] != key(7) || selected[1] != key(9) {
+		t.Errorf("selected = %v", selected)
+	}
+}
+
+func TestNewLoggerTruncatesOldEpoch(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := NewLogger(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := l1.Log(key(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l1.Close()
+	// NewLogger (unlike OpenLogger) starts a fresh epoch.
+	l2, err := NewLogger(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	selected, err := l2.EndEpoch(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != 0 {
+		t.Errorf("fresh logger inherited tuples: %v", selected)
+	}
+}
+
+func TestOpenLoggerSalvagesTornTuple(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := NewLogger(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		if err := l1.Log(key(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l1.Close()
+	// Simulate a crash mid-write: append garbage that decodes as a key
+	// varint but is truncated before the count.
+	path := filepath.Join(dir, "part-0000.log")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0xFF continues a varint forever: a torn multi-byte varint tail.
+	if _, err := f.Write([]byte{0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := OpenLogger(dir, 1)
+	if err != nil {
+		t.Fatalf("salvage failed: %v", err)
+	}
+	defer l2.Close()
+	selected, err := l2.EndEpoch(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != 1 || selected[0] != key(3) {
+		t.Errorf("salvaged selection = %v", selected)
+	}
+}
+
+func TestOpenLoggerOnEmptyDirIsFresh(t *testing.T) {
+	l, err := OpenLogger(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Log(block.MakeKey(0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := l.EndEpoch(1)
+	if err != nil || len(sel) != 1 {
+		t.Errorf("sel = %v, err = %v", sel, err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package sieved implements SieveStore-D, the discrete SieveStore variant
+// (§3.2): every access is logged as an <address, 1> tuple into one of R
+// hash-partitioned spill files; periodically (and at each epoch boundary) a
+// map-reduction-like per-key reduction sorts each partition and counts
+// contiguous runs of the same address; blocks whose epoch access count
+// reaches the threshold (t = 10 in the paper) are batch-allocated for the
+// next epoch, during which no replacement occurs.
+//
+// The metastate lives entirely in files on the SieveStore node's local
+// storage — never on the access critical path and never in the SSD cache.
+package sieved
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/block"
+)
+
+// DefaultThreshold is the paper's tuned epoch access-count threshold
+// (blocks with ≥10 accesses in an epoch are allocated for the next epoch;
+// insensitive in the 8–20 range, §5.1).
+const DefaultThreshold = 10
+
+// DefaultPartitions is the default number of hash partitions R.
+const DefaultPartitions = 16
+
+// Logger is the access log: R append-only partition files of
+// <address, count> tuples.
+type Logger struct {
+	dir        string
+	partitions int
+	writers    []*bufio.Writer
+	files      []*os.File
+	// tuples counts the live tuples per partition (for compaction
+	// bookkeeping and tests).
+	tuples []int64
+	closed bool
+}
+
+// NewLogger creates a logger with the given partition count, writing spill
+// files under dir (created if needed). Existing partition files are
+// truncated; use OpenLogger to resume an interrupted epoch.
+func NewLogger(dir string, partitions int) (*Logger, error) {
+	return makeLogger(dir, partitions, false)
+}
+
+// OpenLogger opens (or creates) a logger that *appends* to any existing
+// partition files under dir — crash recovery for the epoch in progress:
+// tuples logged before a restart still count toward the epoch's reduction.
+func OpenLogger(dir string, partitions int) (*Logger, error) {
+	return makeLogger(dir, partitions, true)
+}
+
+func makeLogger(dir string, partitions int, resume bool) (*Logger, error) {
+	if partitions < 1 {
+		return nil, fmt.Errorf("sieved: partitions must be ≥1, got %d", partitions)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sieved: %w", err)
+	}
+	l := &Logger{dir: dir, partitions: partitions, tuples: make([]int64, partitions)}
+	for p := 0; p < partitions; p++ {
+		flags := os.O_RDWR | os.O_CREATE | os.O_TRUNC
+		if resume {
+			flags = os.O_RDWR | os.O_CREATE | os.O_APPEND
+		}
+		f, err := os.OpenFile(l.partitionPath(p), flags, 0o644)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("sieved: %w", err)
+		}
+		l.files = append(l.files, f)
+		l.writers = append(l.writers, bufio.NewWriterSize(f, 1<<16))
+	}
+	if resume {
+		// Salvage each partition: reduce whatever decodes cleanly and
+		// rewrite the file, dropping a torn final tuple left by a crash
+		// mid-write. Afterwards every partition is compact and valid.
+		for p := 0; p < partitions; p++ {
+			salvaged, err := l.readPartitionSalvage(p)
+			if err != nil {
+				l.Close()
+				return nil, err
+			}
+			if err := l.rewritePartition(p, salvaged); err != nil {
+				l.Close()
+				return nil, err
+			}
+		}
+	}
+	return l, nil
+}
+
+func (l *Logger) partitionPath(p int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("part-%04d.log", p))
+}
+
+// partition selects the spill file for a key (the paper's hash function on
+// the address).
+func (l *Logger) partition(key block.Key) int {
+	x := uint64(key)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(l.partitions))
+}
+
+// Log appends an <address, 1> tuple for key.
+func (l *Logger) Log(key block.Key) error { return l.logTuple(key, 1) }
+
+// LogRequest logs every block the request touches.
+func (l *Logger) LogRequest(req *block.Request) error {
+	n := req.Blocks()
+	first := req.Offset / block.Size
+	for i := 0; i < n; i++ {
+		if err := l.Log(block.MakeKey(req.Server, req.Volume, first+uint64(i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Logger) logTuple(key block.Key, count int64) error {
+	if l.closed {
+		return fmt.Errorf("sieved: logger is closed")
+	}
+	p := l.partition(key)
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(key))
+	n += binary.PutUvarint(buf[n:], uint64(count))
+	if _, err := l.writers[p].Write(buf[:n]); err != nil {
+		return err
+	}
+	l.tuples[p]++
+	return nil
+}
+
+// TupleCount returns the total number of live tuples across partitions.
+func (l *Logger) TupleCount() int64 {
+	var total int64
+	for _, n := range l.tuples {
+		total += n
+	}
+	return total
+}
+
+// tuple is one <address, count> record.
+type tuple struct {
+	key   block.Key
+	count int64
+}
+
+// readPartition loads and per-key-reduces one partition: the tuples are
+// sorted by address and contiguous runs of the same address are summed —
+// the paper's sort + run-length reduction.
+func (l *Logger) readPartition(p int) ([]tuple, error) {
+	return l.readPartitionMode(p, false)
+}
+
+// readPartitionSalvage is the crash-recovery variant: a torn trailing
+// tuple is dropped instead of failing the read.
+func (l *Logger) readPartitionSalvage(p int) ([]tuple, error) {
+	return l.readPartitionMode(p, true)
+}
+
+func (l *Logger) readPartitionMode(p int, salvage bool) ([]tuple, error) {
+	if err := l.writers[p].Flush(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(l.partitionPath(p))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var tuples []tuple
+	for {
+		k, err := binary.ReadUvarint(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if salvage {
+				break
+			}
+			return nil, fmt.Errorf("sieved: partition %d: %w", p, err)
+		}
+		c, err := binary.ReadUvarint(r)
+		if err != nil {
+			if salvage {
+				break
+			}
+			return nil, fmt.Errorf("sieved: partition %d: truncated tuple: %w", p, err)
+		}
+		tuples = append(tuples, tuple{key: block.Key(k), count: int64(c)})
+	}
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].key < tuples[j].key })
+	// Run-length reduction in place.
+	out := tuples[:0]
+	for _, t := range tuples {
+		if n := len(out); n > 0 && out[n-1].key == t.key {
+			out[n-1].count += t.count
+		} else {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// Compact performs the paper's incremental per-key reduction: each
+// partition is rewritten with one tuple per address, shrinking the logs
+// without losing counts. It may be called at any time between epochs.
+func (l *Logger) Compact() error {
+	for p := 0; p < l.partitions; p++ {
+		reduced, err := l.readPartition(p)
+		if err != nil {
+			return err
+		}
+		if err := l.rewritePartition(p, reduced); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Logger) rewritePartition(p int, tuples []tuple) error {
+	f, err := os.Create(l.partitionPath(p))
+	if err != nil {
+		return err
+	}
+	l.files[p].Close()
+	l.files[p] = f
+	l.writers[p] = bufio.NewWriterSize(f, 1<<16)
+	l.tuples[p] = 0
+	for _, t := range tuples {
+		var buf [2 * binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], uint64(t.key))
+		n += binary.PutUvarint(buf[n:], uint64(t.count))
+		if _, err := l.writers[p].Write(buf[:n]); err != nil {
+			return err
+		}
+		l.tuples[p]++
+	}
+	return l.writers[p].Flush()
+}
+
+// Counts runs the full reduction and calls fn for every (address, count)
+// pair of the current epoch, in no particular order.
+func (l *Logger) Counts(fn func(key block.Key, count int64)) error {
+	for p := 0; p < l.partitions; p++ {
+		reduced, err := l.readPartition(p)
+		if err != nil {
+			return err
+		}
+		for _, t := range reduced {
+			fn(t.key, t.count)
+		}
+	}
+	return nil
+}
+
+// EndEpoch reduces the epoch's logs, selects every block whose access
+// count meets the threshold — ordered by descending count so callers can
+// truncate to cache capacity keeping the hottest blocks — and resets the
+// logs for the next epoch.
+func (l *Logger) EndEpoch(threshold int64) ([]block.Key, error) {
+	var selected []tuple
+	if err := l.Counts(func(key block.Key, count int64) {
+		if count >= threshold {
+			selected = append(selected, tuple{key, count})
+		}
+	}); err != nil {
+		return nil, err
+	}
+	sort.Slice(selected, func(i, j int) bool {
+		if selected[i].count != selected[j].count {
+			return selected[i].count > selected[j].count
+		}
+		return selected[i].key < selected[j].key
+	})
+	keys := make([]block.Key, len(selected))
+	for i, t := range selected {
+		keys[i] = t.key
+	}
+	for p := 0; p < l.partitions; p++ {
+		if err := l.rewritePartition(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return keys, nil
+}
+
+// Close flushes and closes all partitions. The spill files remain on disk
+// (the caller owns the directory).
+func (l *Logger) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var first error
+	for p, w := range l.writers {
+		if err := w.Flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := l.files[p].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,234 @@
+package sieved
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func key(n uint64) block.Key { return block.MakeKey(1, 0, n) }
+
+func newTestLogger(t *testing.T, partitions int) *Logger {
+	t.Helper()
+	l, err := NewLogger(t.TempDir(), partitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestNewLoggerValidates(t *testing.T) {
+	if _, err := NewLogger(t.TempDir(), 0); err == nil {
+		t.Error("want error for 0 partitions")
+	}
+}
+
+func TestCountsAggregate(t *testing.T) {
+	l := newTestLogger(t, 4)
+	want := map[block.Key]int64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		k := key(uint64(rng.Intn(300)))
+		if err := l.Log(k); err != nil {
+			t.Fatal(err)
+		}
+		want[k]++
+	}
+	got := map[block.Key]int64{}
+	if err := l.Counts(func(k block.Key, c int64) { got[k] += c }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("key %v: got %d, want %d", k, got[k], c)
+		}
+	}
+}
+
+func TestLogRequestCountsBlocks(t *testing.T) {
+	l := newTestLogger(t, 2)
+	req := block.Request{Server: 1, Volume: 0, Offset: 0, Length: 1536}
+	if err := l.LogRequest(&req); err != nil {
+		t.Fatal(err)
+	}
+	got := map[block.Key]int64{}
+	if err := l.Counts(func(k block.Key, c int64) { got[k] += c }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(got))
+	}
+}
+
+func TestCompactPreservesCountsAndShrinks(t *testing.T) {
+	l := newTestLogger(t, 4)
+	for i := 0; i < 1000; i++ {
+		if err := l.Log(key(uint64(i % 50))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.TupleCount() != 1000 {
+		t.Fatalf("tuples = %d", l.TupleCount())
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if l.TupleCount() != 50 {
+		t.Errorf("after compact: %d tuples, want 50", l.TupleCount())
+	}
+	got := map[block.Key]int64{}
+	if err := l.Counts(func(k block.Key, c int64) { got[k] += c }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if got[key(uint64(i))] != 20 {
+			t.Fatalf("key %d count = %d, want 20", i, got[key(uint64(i))])
+		}
+	}
+	// Compaction must also be incremental: more logging afterwards merges.
+	if err := l.Log(key(0)); err != nil {
+		t.Fatal(err)
+	}
+	got0 := int64(0)
+	if err := l.Counts(func(k block.Key, c int64) {
+		if k == key(0) {
+			got0 += c
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got0 != 21 {
+		t.Errorf("post-compact count = %d, want 21", got0)
+	}
+}
+
+func TestEndEpochSelectsAndResets(t *testing.T) {
+	l := newTestLogger(t, 8)
+	// Block 1: 15 accesses, block 2: 10, block 3: 9, block 4: 1.
+	for i, n := range map[uint64]int{1: 15, 2: 10, 3: 9, 4: 1} {
+		for j := 0; j < n; j++ {
+			if err := l.Log(key(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	selected, err := l.EndEpoch(DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != 2 {
+		t.Fatalf("selected %v", selected)
+	}
+	// Descending count order: block 1 first.
+	if selected[0] != key(1) || selected[1] != key(2) {
+		t.Errorf("selected order = %v", selected)
+	}
+	// Logs must be reset.
+	if l.TupleCount() != 0 {
+		t.Errorf("tuples after epoch = %d", l.TupleCount())
+	}
+	next, err := l.EndEpoch(DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next) != 0 {
+		t.Errorf("second epoch should be empty, got %v", next)
+	}
+}
+
+func TestEndEpochDeterministicTies(t *testing.T) {
+	l := newTestLogger(t, 8)
+	for _, k := range []uint64{9, 3, 7, 1} {
+		for j := 0; j < 12; j++ {
+			if err := l.Log(key(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sel, err := l.EndEpoch(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []block.Key{key(1), key(3), key(7), key(9)}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("tie order = %v", sel)
+		}
+	}
+}
+
+func TestLoggerClosedRejectsWrites(t *testing.T) {
+	l := newTestLogger(t, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Log(key(1)); err == nil {
+		t.Error("Log after Close should fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestSpillFilesOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	l, err := NewLogger(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 100; i++ {
+		if err := l.Log(key(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "part-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Errorf("found %d spill files, want 3", len(matches))
+	}
+	// Partitioning should spread keys (not all in one file).
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil && fi.Size() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Errorf("only %d non-empty partitions; hash partitioning broken?", nonEmpty)
+	}
+}
+
+func BenchmarkLogAndReduce(b *testing.B) {
+	l, err := NewLogger(b.TempDir(), DefaultPartitions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Log(key(uint64(i % 100000))); err != nil {
+			b.Fatal(err)
+		}
+		// Periodic incremental reduction, as the paper prescribes.
+		if i > 0 && i%1_000_000 == 0 {
+			b.StopTimer()
+			if err := l.Compact(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/sieve"
+	"repro/internal/ssd"
+)
+
+// This file simulates *real* per-server caching configurations (the paper's
+// quadrants III and IV): one independent cache per server, each with an
+// equal slice of the total capacity and its own allocation policy instance.
+// Unlike the oracle per-server analyses in harness.go, these run the full
+// continuous cache simulation per server, so they can be compared 1:1
+// against the shared ensemble-level runs.
+
+// PolicyFactory builds a fresh policy instance for one server's private
+// cache. Each server must get its own instance: sieve metastate must not be
+// shared across private caches.
+type PolicyFactory func(server int) (sieve.Policy, error)
+
+// RunPerServerContinuous simulates `servers` private caches, each of
+// capacity totalCapacityBlocks/servers, and returns the aggregated result
+// plus the per-server results. Requests are routed by their Server field;
+// requests from servers ≥ `servers` are rejected.
+func RunPerServerContinuous(tr Trace, servers, totalCapacityBlocks int, factory PolicyFactory) (*Result, []*Result, error) {
+	if servers < 1 {
+		return nil, nil, fmt.Errorf("sim: servers must be ≥1, got %d", servers)
+	}
+	perCap := totalCapacityBlocks / servers
+	if perCap < 1 {
+		return nil, nil, fmt.Errorf("sim: capacity %d too small for %d servers", totalCapacityBlocks, servers)
+	}
+	sims := make([]*Continuous, servers)
+	for s := range sims {
+		policy, err := factory(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		sims[s] = NewContinuous(perCap, policy)
+	}
+	totalMinutes := 0
+	for d := 0; d < tr.Days(); d++ {
+		reqs, err := tr.Day(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range reqs {
+			s := reqs[i].Server
+			if s < 0 || s >= servers {
+				return nil, nil, fmt.Errorf("sim: request for unknown server %d", s)
+			}
+			sims[s].Process(&reqs[i])
+		}
+		totalMinutes = (d + 1) * 24 * 60
+	}
+	perServer := make([]*Result, servers)
+	for s, c := range sims {
+		perServer[s] = c.Result(totalMinutes)
+		perServer[s].Name = fmt.Sprintf("%s[server %d]", perServer[s].Name, s)
+	}
+	combined := CombineResults("per-server "+perServer[0].Name, totalMinutes, perServer)
+	return combined, perServer, nil
+}
+
+// CombineResults merges several simulation results into one aggregate: day
+// statistics add; minute loads add element-wise. Used for per-server
+// configurations whose caches are separate devices — note that for *drive
+// provisioning* the per-server loads must NOT be combined (each private
+// cache needs its own drive); use the individual results for Figure 9-style
+// analyses of private configurations.
+func CombineResults(name string, totalMinutes int, results []*Result) *Result {
+	out := &Result{Name: name}
+	maxDays := 0
+	for _, r := range results {
+		if len(r.Days) > maxDays {
+			maxDays = len(r.Days)
+		}
+	}
+	out.day(maxDays - 1) // allocate
+	for _, r := range results {
+		for _, d := range r.Days {
+			agg := out.day(d.Day)
+			agg.Accesses += d.Accesses
+			agg.Reads += d.Reads
+			agg.Writes += d.Writes
+			agg.ReadHits += d.ReadHits
+			agg.WriteHits += d.WriteHits
+			agg.AllocWrites += d.AllocWrites
+			agg.Evictions += d.Evictions
+			agg.Moves += d.Moves
+		}
+	}
+	n := totalMinutes
+	for _, r := range results {
+		if len(r.Minutes) > n {
+			n = len(r.Minutes)
+		}
+	}
+	out.Minutes = make([]ssd.MinuteLoad, n)
+	for i := range out.Minutes {
+		out.Minutes[i].Minute = i
+	}
+	for _, r := range results {
+		for _, l := range r.Minutes {
+			out.Minutes[l.Minute].ReadPages += l.ReadPages
+			out.Minutes[l.Minute].WritePages += l.WritePages
+		}
+	}
+	return out
+}
+
+// PerServerDriveNeeds computes the §5.3 cost side for private caches: each
+// server's cache is a separate physical SSD, so the ensemble needs at least
+// one drive per *active* server plus extra drives wherever a private
+// cache's per-minute load exceeds one drive. Returns the total drives
+// needed at the given time-coverage.
+func PerServerDriveNeeds(spec *ssd.DeviceSpec, perServer []*Result, coverage float64) int {
+	total := 0
+	for _, r := range perServer {
+		sorted := ssd.DrivesNeeded(spec, r.Minutes)
+		d := ssd.DrivesAtCoverage(sorted, coverage)
+		if d < 1 {
+			// Even an idle private cache occupies a physical drive slot —
+			// the minimum-drive-size problem the paper notes for
+			// per-server deployment.
+			d = 1
+		}
+		total += d
+	}
+	return total
+}

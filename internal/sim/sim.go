@@ -1,0 +1,319 @@
+// Package sim is the trace-driven cache simulator: it drives allocation
+// policies over block traces and produces the per-day hit/allocation
+// statistics and per-minute SSD load series that all of the paper's
+// evaluation figures (5–9 and §5.3) are built from.
+//
+// Two caching models are supported, mirroring the paper (§3):
+//
+//   - Continuous: a fully-associative LRU cache consulted on every access,
+//     with a sieve.Policy deciding allocation on misses (SieveStore-C, AOD,
+//     WMNA, RandSieve-C). Allocation-writes are timed at the originating
+//     request's completion (§4) and charged to the SSD load series.
+//   - Discrete: a per-epoch resident set with no replacement inside the
+//     epoch (SieveStore-D, the per-day Ideal sieve, RandSieve-BlkD). Epoch
+//     moves are counted but not charged to the minute series, matching the
+//     paper's assumption that batch moves are staggered into slack periods.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/block"
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/sieve"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// DayStats aggregates one calendar day of simulation, in 512-byte block
+// units (the paper's accounting granularity).
+type DayStats struct {
+	Day         int
+	Accesses    int64 // total block accesses
+	Reads       int64
+	Writes      int64
+	ReadHits    int64
+	WriteHits   int64
+	AllocWrites int64 // blocks written into the cache on allocation
+	Evictions   int64
+	// Moves counts discrete-epoch batch moves performed at the *start* of
+	// this day (blocks copied into the cache; ≤0.5% of accesses for
+	// SieveStore-D, §3.2).
+	Moves int64
+}
+
+// Hits returns total hits.
+func (d DayStats) Hits() int64 { return d.ReadHits + d.WriteHits }
+
+// HitRatio returns the fraction of accesses captured.
+func (d DayStats) HitRatio() float64 {
+	if d.Accesses == 0 {
+		return 0
+	}
+	return float64(d.Hits()) / float64(d.Accesses)
+}
+
+// SSDWrites returns all SSD write operations in block units (write hits
+// plus allocation-writes).
+func (d DayStats) SSDWrites() int64 { return d.WriteHits + d.AllocWrites }
+
+// SSDOps returns all SSD operations in block units.
+func (d DayStats) SSDOps() int64 { return d.ReadHits + d.SSDWrites() }
+
+// Result is a full simulation outcome.
+type Result struct {
+	Name string
+	// Days holds per-calendar-day statistics.
+	Days []DayStats
+	// Minutes is the SSD load series in trace-scale page operations.
+	Minutes []ssd.MinuteLoad
+}
+
+// Total sums the per-day statistics.
+func (r *Result) Total() DayStats {
+	var t DayStats
+	t.Day = -1
+	for _, d := range r.Days {
+		t.Accesses += d.Accesses
+		t.Reads += d.Reads
+		t.Writes += d.Writes
+		t.ReadHits += d.ReadHits
+		t.WriteHits += d.WriteHits
+		t.AllocWrites += d.AllocWrites
+		t.Evictions += d.Evictions
+		t.Moves += d.Moves
+	}
+	return t
+}
+
+// day returns the stats bucket for calendar day d, growing as needed.
+func (r *Result) day(d int) *DayStats {
+	for len(r.Days) <= d {
+		r.Days = append(r.Days, DayStats{Day: len(r.Days)})
+	}
+	return &r.Days[d]
+}
+
+// Continuous simulates a continuously-allocated cache under a sieve
+// policy. The replacement policy is the tag store's (LRU by default, as in
+// the paper; FIFO/CLOCK for the §3.1 replacement ablation).
+type Continuous struct {
+	cache   cache.TagStore
+	policy  sieve.Policy
+	result  Result
+	minutes metrics.MinuteSeries
+	accBuf  []block.Access
+}
+
+// NewContinuous returns a simulator over an LRU cache of capacityBlocks
+// 512-byte frames (the paper's configuration).
+func NewContinuous(capacityBlocks int, policy sieve.Policy) *Continuous {
+	return NewContinuousTags(cache.New(capacityBlocks), policy)
+}
+
+// NewContinuousTags returns a simulator over an arbitrary tag store
+// (replacement policy). The result is named policy/replacement when the
+// replacement is not the default LRU.
+func NewContinuousTags(tags cache.TagStore, policy sieve.Policy) *Continuous {
+	name := policy.Name()
+	if tags.Name() != "LRU" {
+		name += "/" + tags.Name()
+	}
+	return &Continuous{
+		cache:  tags,
+		policy: policy,
+		result: Result{Name: name},
+	}
+}
+
+// Tags exposes the underlying tag store (for tests and warm-start).
+func (c *Continuous) Tags() cache.TagStore { return c.cache }
+
+// Process simulates one trace request.
+func (c *Continuous) Process(req *block.Request) {
+	day := trace.DayOf(req.Time)
+	st := c.result.day(day)
+	c.accBuf = trace.Expand(c.accBuf[:0], req)
+	var readHit, writeHit, alloc int64
+	lastAllocTime := req.Time
+	for _, acc := range c.accBuf {
+		st.Accesses++
+		if acc.Kind == block.Write {
+			st.Writes++
+		} else {
+			st.Reads++
+		}
+		if c.cache.Touch(acc.Key) {
+			if acc.Kind == block.Write {
+				st.WriteHits++
+				writeHit++
+			} else {
+				st.ReadHits++
+				readHit++
+			}
+			continue
+		}
+		if c.policy.ShouldAllocate(acc) {
+			if _, evicted := c.cache.Insert(acc.Key); evicted {
+				st.Evictions++
+			}
+			st.AllocWrites++
+			alloc++
+			// Allocation can only start once the data has been fetched
+			// from the ensemble: at the (interpolated) completion time.
+			lastAllocTime = acc.Time
+		}
+	}
+	// Charge SSD page operations: hits at the request's issue minute,
+	// allocation-writes at the completing access's minute. Partial pages
+	// are charged as whole pages (§4's conservative cost assessment).
+	minute := trace.MinuteOf(req.Time)
+	if readHit > 0 {
+		c.minutes.AddReads(minute, pages(readHit))
+	}
+	if writeHit > 0 {
+		c.minutes.AddWrites(minute, pages(writeHit))
+	}
+	if alloc > 0 {
+		c.minutes.AddWrites(trace.MinuteOf(lastAllocTime), pages(alloc))
+	}
+}
+
+// pages converts a block count to whole 4 KiB page operations.
+func pages(blocks int64) float64 {
+	return float64((blocks + block.BlocksPerPage - 1) / block.BlocksPerPage)
+}
+
+// Run drains a trace reader through the simulator.
+func (c *Continuous) Run(r trace.Reader) error {
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.Process(&req)
+	}
+}
+
+// Result finalizes and returns the simulation result. totalMinutes pads the
+// minute series (pass trace length; 0 keeps only active minutes).
+func (c *Continuous) Result(totalMinutes int) *Result {
+	c.result.Minutes = c.minutes.Loads(totalMinutes)
+	return &c.result
+}
+
+// EpochSetFunc returns the resident set for a calendar day, hottest block
+// first. It is consulted at the start of each day; returning an empty set
+// models an unbootstrapped cache (SieveStore-D on day 0).
+type EpochSetFunc func(day int) []block.Key
+
+// Discrete simulates epoch-batch caching: at each day boundary the resident
+// set is replaced wholesale and then remains fixed for the day (§3.2).
+type Discrete struct {
+	name     string
+	capacity int
+	cache    *cache.Cache
+	sets     EpochSetFunc
+	result   Result
+	minutes  metrics.MinuteSeries
+	curDay   int
+	started  bool
+	accBuf   []block.Access
+}
+
+// NewDiscrete returns a discrete-epoch simulator.
+func NewDiscrete(name string, capacityBlocks int, sets EpochSetFunc) *Discrete {
+	return &Discrete{
+		name:     name,
+		capacity: capacityBlocks,
+		cache:    cache.New(capacityBlocks),
+		sets:     sets,
+		result:   Result{Name: name},
+	}
+}
+
+// beginDay installs day d's resident set.
+func (d *Discrete) beginDay(day int) {
+	moved := d.cache.ReplaceAll(d.sets(day))
+	st := d.result.day(day)
+	st.Moves += int64(moved)
+	d.curDay = day
+	d.started = true
+}
+
+// Process simulates one trace request. Requests must arrive in
+// non-decreasing day order.
+func (d *Discrete) Process(req *block.Request) error {
+	day := trace.DayOf(req.Time)
+	if !d.started || day != d.curDay {
+		if d.started && day < d.curDay {
+			return fmt.Errorf("sim: discrete requests out of day order (%d after %d)", day, d.curDay)
+		}
+		for nd := d.nextDay(); nd <= day; nd++ {
+			d.beginDay(nd)
+		}
+	}
+	st := d.result.day(day)
+	d.accBuf = trace.Expand(d.accBuf[:0], req)
+	var readHit, writeHit int64
+	for _, acc := range d.accBuf {
+		st.Accesses++
+		if acc.Kind == block.Write {
+			st.Writes++
+		} else {
+			st.Reads++
+		}
+		if !d.cache.Contains(acc.Key) {
+			continue
+		}
+		if acc.Kind == block.Write {
+			st.WriteHits++
+			writeHit++
+		} else {
+			st.ReadHits++
+			readHit++
+		}
+	}
+	minute := trace.MinuteOf(req.Time)
+	if readHit > 0 {
+		d.minutes.AddReads(minute, pages(readHit))
+	}
+	if writeHit > 0 {
+		d.minutes.AddWrites(minute, pages(writeHit))
+	}
+	return nil
+}
+
+func (d *Discrete) nextDay() int {
+	if !d.started {
+		return 0
+	}
+	return d.curDay + 1
+}
+
+// Run drains a trace reader through the simulator.
+func (d *Discrete) Run(r trace.Reader) error {
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := d.Process(&req); err != nil {
+			return err
+		}
+	}
+}
+
+// Result finalizes and returns the simulation result.
+func (d *Discrete) Result(totalMinutes int) *Result {
+	d.result.Minutes = d.minutes.Loads(totalMinutes)
+	return &d.result
+}

@@ -1,0 +1,127 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Latency wraps a Backend and accounts HDD-like service time for every
+// request. By default the delay is only *recorded* (so tests stay fast);
+// with Sleep=true it is actually imposed, which the appliance example uses
+// to make the cache's effect visible.
+type Latency struct {
+	Backend
+	// PerRequest is the fixed positioning cost (seek+rotate).
+	PerRequest time.Duration
+	// PerByte is the transfer cost per byte.
+	PerByte time.Duration
+	// Sleep imposes the delay for real instead of only accounting it.
+	Sleep bool
+
+	busy int64 // accumulated nanoseconds
+	ops  int64
+}
+
+// NewLatency wraps backend with enterprise-HDD-like defaults (≈8 ms
+// positioning, ≈100 MB/s transfer).
+func NewLatency(backend Backend) *Latency {
+	return &Latency{
+		Backend:    backend,
+		PerRequest: 8 * time.Millisecond,
+		PerByte:    10 * time.Nanosecond,
+	}
+}
+
+func (l *Latency) account(n int) {
+	d := l.PerRequest + time.Duration(n)*l.PerByte
+	atomic.AddInt64(&l.busy, int64(d))
+	atomic.AddInt64(&l.ops, 1)
+	if l.Sleep {
+		time.Sleep(d)
+	}
+}
+
+// ReadAt implements Backend.
+func (l *Latency) ReadAt(server, volume int, p []byte, off uint64) error {
+	l.account(len(p))
+	return l.Backend.ReadAt(server, volume, p, off)
+}
+
+// WriteAt implements Backend.
+func (l *Latency) WriteAt(server, volume int, p []byte, off uint64) error {
+	l.account(len(p))
+	return l.Backend.WriteAt(server, volume, p, off)
+}
+
+// BusyTime returns the total accounted device time.
+func (l *Latency) BusyTime() time.Duration { return time.Duration(atomic.LoadInt64(&l.busy)) }
+
+// Ops returns the number of requests that reached the backend.
+func (l *Latency) Ops() int64 { return atomic.LoadInt64(&l.ops) }
+
+// ErrInjected is returned by a tripped Faulty backend.
+var ErrInjected = errors.New("store: injected fault")
+
+// Faulty wraps a Backend and fails requests on demand — used to test that
+// the SieveStore core propagates ensemble errors without corrupting its
+// cache state.
+type Faulty struct {
+	Backend
+
+	mu        sync.Mutex
+	failReads bool
+	failAfter int64 // fail once this many more requests have passed; -1 = off
+}
+
+// NewFaulty wraps backend with fault injection disabled.
+func NewFaulty(backend Backend) *Faulty {
+	return &Faulty{Backend: backend, failAfter: -1}
+}
+
+// FailReads toggles immediate read failures.
+func (f *Faulty) FailReads(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failReads = on
+}
+
+// FailAfter arms a one-shot failure after n successful requests.
+func (f *Faulty) FailAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAfter = n
+}
+
+func (f *Faulty) shouldFail(isRead bool) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if isRead && f.failReads {
+		return true
+	}
+	if f.failAfter >= 0 {
+		if f.failAfter == 0 {
+			f.failAfter = -1
+			return true
+		}
+		f.failAfter--
+	}
+	return false
+}
+
+// ReadAt implements Backend.
+func (f *Faulty) ReadAt(server, volume int, p []byte, off uint64) error {
+	if f.shouldFail(true) {
+		return ErrInjected
+	}
+	return f.Backend.ReadAt(server, volume, p, off)
+}
+
+// WriteAt implements Backend.
+func (f *Faulty) WriteAt(server, volume int, p []byte, off uint64) error {
+	if f.shouldFail(false) {
+		return ErrInjected
+	}
+	return f.Backend.WriteAt(server, volume, p, off)
+}

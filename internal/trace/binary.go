@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/block"
+)
+
+// The binary trace format is a compact, streamable encoding used by the
+// experiment pipeline for intermediate traces. Layout:
+//
+//	magic   [4]byte "SVT1"
+//	records, each:
+//	  timeDelta uvarint  (ns since previous record's Time; first is absolute)
+//	  server    uvarint
+//	  volume    uvarint
+//	  kind      1 byte   (0 read, 1 write)
+//	  offset    uvarint  (bytes)
+//	  length    uvarint  (bytes)
+//	  duration  uvarint  (ns)
+//
+// Records must be written in non-decreasing time order (deltas are
+// unsigned); SortByTime before writing if needed.
+
+var binMagic = [4]byte{'S', 'V', 'T', '1'}
+
+// ErrBadMagic reports a binary trace stream with the wrong header.
+var ErrBadMagic = errors.New("trace: bad binary trace magic")
+
+// BinaryWriter writes the compact binary trace format.
+type BinaryWriter struct {
+	w        *bufio.Writer
+	lastTime int64
+	started  bool
+	buf      [binary.MaxVarintLen64]byte
+}
+
+// NewBinaryWriter returns a BinaryWriter over w. The magic header is
+// written lazily on the first record so that creating a writer is
+// side-effect free.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (b *BinaryWriter) uvarint(v uint64) error {
+	n := binary.PutUvarint(b.buf[:], v)
+	_, err := b.w.Write(b.buf[:n])
+	return err
+}
+
+// Write implements Writer. It returns an error if req.Time precedes the
+// previous record's time.
+func (b *BinaryWriter) Write(req block.Request) error {
+	if !b.started {
+		if _, err := b.w.Write(binMagic[:]); err != nil {
+			return err
+		}
+		b.started = true
+	}
+	if req.Time < b.lastTime {
+		return ErrUnsorted
+	}
+	if err := b.uvarint(uint64(req.Time - b.lastTime)); err != nil {
+		return err
+	}
+	b.lastTime = req.Time
+	if err := b.uvarint(uint64(req.Server)); err != nil {
+		return err
+	}
+	if err := b.uvarint(uint64(req.Volume)); err != nil {
+		return err
+	}
+	kind := byte(0)
+	if req.Kind == block.Write {
+		kind = 1
+	}
+	if err := b.w.WriteByte(kind); err != nil {
+		return err
+	}
+	if err := b.uvarint(req.Offset); err != nil {
+		return err
+	}
+	if err := b.uvarint(uint64(req.Length)); err != nil {
+		return err
+	}
+	return b.uvarint(uint64(req.Duration))
+}
+
+// Flush flushes buffered output; if no record was written it still emits
+// the magic header so the output is a valid empty trace.
+func (b *BinaryWriter) Flush() error {
+	if !b.started {
+		if _, err := b.w.Write(binMagic[:]); err != nil {
+			return err
+		}
+		b.started = true
+	}
+	return b.w.Flush()
+}
+
+// BinaryReader streams the compact binary trace format.
+type BinaryReader struct {
+	r        *bufio.Reader
+	lastTime int64
+	started  bool
+	lastErr  error
+}
+
+// NewBinaryReader returns a BinaryReader over r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next implements Reader.
+func (b *BinaryReader) Next() (block.Request, error) {
+	var req block.Request
+	if b.lastErr != nil {
+		return req, b.lastErr
+	}
+	if !b.started {
+		var magic [4]byte
+		if _, err := io.ReadFull(b.r, magic[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				b.lastErr = io.EOF
+				if err == io.ErrUnexpectedEOF {
+					b.lastErr = ErrBadMagic
+				}
+				return req, b.lastErr
+			}
+			b.lastErr = err
+			return req, err
+		}
+		if magic != binMagic {
+			b.lastErr = ErrBadMagic
+			return req, b.lastErr
+		}
+		b.started = true
+	}
+	delta, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		if err == io.EOF {
+			b.lastErr = io.EOF
+		} else {
+			b.lastErr = fmt.Errorf("trace: binary record: %w", err)
+		}
+		return req, b.lastErr
+	}
+	fail := func(field string, err error) (block.Request, error) {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		b.lastErr = fmt.Errorf("trace: binary record %s: %w", field, err)
+		return block.Request{}, b.lastErr
+	}
+	b.lastTime += int64(delta)
+	req.Time = b.lastTime
+	server, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		return fail("server", err)
+	}
+	req.Server = int(server)
+	volume, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		return fail("volume", err)
+	}
+	req.Volume = int(volume)
+	kind, err := b.r.ReadByte()
+	if err != nil {
+		return fail("kind", err)
+	}
+	if kind == 1 {
+		req.Kind = block.Write
+	}
+	req.Offset, err = binary.ReadUvarint(b.r)
+	if err != nil {
+		return fail("offset", err)
+	}
+	length, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		return fail("length", err)
+	}
+	req.Length = uint32(length)
+	dur, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		return fail("duration", err)
+	}
+	req.Duration = int64(dur)
+	return req, nil
+}

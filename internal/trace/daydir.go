@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/block"
+)
+
+// This file implements on-disk, day-partitioned traces: a whole-trace
+// stream (e.g. a real MSR-Cambridge CSV download, or tracegen output) is
+// split into one compact binary file per calendar day, and the resulting
+// directory can then be opened as a day-addressable trace for the
+// simulator — the experiment harness replays traces day by day, and
+// keeping days in separate files bounds memory for arbitrarily large
+// traces.
+
+// dayFileName returns the file name for calendar day d.
+func dayFileName(d int) string { return fmt.Sprintf("day-%03d.trace", d) }
+
+// SplitByDay drains a (time-ordered) request stream into per-day binary
+// trace files under dir, creating it if needed. It returns the number of
+// days written. Empty days get no file; OpenDayDir treats them as empty.
+func SplitByDay(r Reader, dir string) (days int, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("trace: %w", err)
+	}
+	var (
+		cur     *os.File
+		w       *BinaryWriter
+		curDay  = -1
+		maxDay  = -1
+		closeAl = func() error {
+			if cur == nil {
+				return nil
+			}
+			if err := w.Flush(); err != nil {
+				cur.Close()
+				return err
+			}
+			err := cur.Close()
+			cur, w = nil, nil
+			return err
+		}
+	)
+	defer closeAl()
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		d := DayOf(req.Time)
+		if d != curDay {
+			if d < curDay {
+				return 0, ErrUnsorted
+			}
+			if err := closeAl(); err != nil {
+				return 0, err
+			}
+			f, err := os.Create(filepath.Join(dir, dayFileName(d)))
+			if err != nil {
+				return 0, fmt.Errorf("trace: %w", err)
+			}
+			cur, w = f, NewBinaryWriter(f)
+			curDay = d
+			if d > maxDay {
+				maxDay = d
+			}
+		}
+		if err := w.Write(req); err != nil {
+			return 0, err
+		}
+	}
+	if err := closeAl(); err != nil {
+		return 0, err
+	}
+	return maxDay + 1, nil
+}
+
+// DayDir is a day-partitioned on-disk trace. It satisfies the simulator's
+// Trace interface (Days/Day).
+type DayDir struct {
+	dir  string
+	days int
+}
+
+// OpenDayDir scans dir for day files and returns the trace. The day count
+// is one past the highest day file present.
+func OpenDayDir(dir string) (*DayDir, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	maxDay := -1
+	for _, e := range entries {
+		var d int
+		if _, err := fmt.Sscanf(e.Name(), "day-%d.trace", &d); err == nil {
+			if d > maxDay {
+				maxDay = d
+			}
+		}
+	}
+	if maxDay < 0 {
+		return nil, fmt.Errorf("trace: no day files in %s", dir)
+	}
+	return &DayDir{dir: dir, days: maxDay + 1}, nil
+}
+
+// Days returns the trace length in calendar days.
+func (dd *DayDir) Days() int { return dd.days }
+
+// Day loads day d's requests. Missing day files yield an empty day.
+func (dd *DayDir) Day(d int) ([]block.Request, error) {
+	if d < 0 || d >= dd.days {
+		return nil, fmt.Errorf("trace: day %d out of range [0,%d)", d, dd.days)
+	}
+	f, err := os.Open(filepath.Join(dd.dir, dayFileName(d)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Collect(NewBinaryReader(f))
+}
+
+// Reader returns a whole-trace Reader over all days in order.
+func (dd *DayDir) Reader() Reader {
+	return &dayDirReader{dd: dd}
+}
+
+type dayDirReader struct {
+	dd  *DayDir
+	day int
+	cur []block.Request
+	pos int
+}
+
+func (r *dayDirReader) Next() (block.Request, error) {
+	for r.pos >= len(r.cur) {
+		if r.day >= r.dd.days {
+			return block.Request{}, io.EOF
+		}
+		reqs, err := r.dd.Day(r.day)
+		if err != nil {
+			return block.Request{}, err
+		}
+		r.day++
+		r.cur, r.pos = reqs, 0
+	}
+	req := r.cur[r.pos]
+	r.pos++
+	return req, nil
+}
+
+// SortDayFiles re-sorts every day file by time — useful after merging
+// several per-server traces whose per-day interleavings are unordered.
+func (dd *DayDir) SortDayFiles() error {
+	for d := 0; d < dd.days; d++ {
+		reqs, err := dd.Day(d)
+		if err != nil {
+			return err
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		if sort.SliceIsSorted(reqs, func(i, j int) bool { return reqs[i].Time < reqs[j].Time }) {
+			continue
+		}
+		SortByTime(reqs)
+		f, err := os.Create(filepath.Join(dd.dir, dayFileName(d)))
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		w := NewBinaryWriter(f)
+		for i := range reqs {
+			if err := w.Write(reqs[i]); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzBinaryReader feeds arbitrary bytes to the binary trace decoder: it
+// must terminate with io.EOF or an error, never panic, and any decoded
+// prefix must re-encode losslessly.
+func FuzzBinaryReader(f *testing.F) {
+	// Seed with a valid two-record trace and some corruptions.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	w.Write(randomRequests(1, 2)[0])
+	w.Write(randomRequests(1, 2)[1])
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("SVT1"))
+	f.Add([]byte("SVT1\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewBinaryReader(bytes.NewReader(data))
+		var decoded int
+		for {
+			req, err := r.Next()
+			if err != nil {
+				break
+			}
+			decoded++
+			if decoded > 1_000_000 {
+				t.Fatal("unbounded decode")
+			}
+			// Every decoded record must survive re-encoding.
+			var out bytes.Buffer
+			w := NewBinaryWriter(&out)
+			if req.Time >= 0 {
+				if err := w.Write(req); err != nil && err != ErrUnsorted {
+					t.Fatalf("re-encode failed: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCSVReader feeds arbitrary text to the MSR CSV parser: it must never
+// panic, and valid lines must parse into in-range requests.
+func FuzzCSVReader(f *testing.F) {
+	f.Add("128166372003061629,usr,0,Read,7014609920,24576,41286\n")
+	f.Add("1,a,0,Write,0,512,0\n# comment\n\n2,b,1,Read,512,512,9\n")
+	f.Add("not,a,trace\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		names := &NameTable{}
+		r := NewCSVReader(bytes.NewReader([]byte(data)), names, 0)
+		for i := 0; i < 100000; i++ {
+			req, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // parse errors are fine; panics are not
+			}
+			if req.Server < 0 || req.Volume < 0 {
+				t.Fatalf("negative identifiers: %+v", req)
+			}
+		}
+	})
+}

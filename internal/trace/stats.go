@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"io"
+
+	"repro/internal/block"
+)
+
+// ServerStats summarizes one server's share of a trace (one row of the
+// paper's Table 1 plus derived access figures).
+type ServerStats struct {
+	Server        int
+	Volumes       map[int]bool
+	Requests      int64
+	BlockAccesses int64
+	Reads         int64 // block-granularity reads
+	Writes        int64 // block-granularity writes
+	BytesAccessed int64 // sum of request lengths
+	UniqueBlocks  int64
+}
+
+// Stats summarizes a whole trace.
+type Stats struct {
+	Servers       map[int]*ServerStats
+	Requests      int64
+	BlockAccesses int64
+	Reads         int64
+	Writes        int64
+	BytesAccessed int64
+	UniqueBlocks  int64
+	FirstTime     int64
+	LastTime      int64
+	Days          int
+}
+
+// VolumeCount returns the number of distinct volumes seen for the server.
+func (s *ServerStats) VolumeCount() int { return len(s.Volumes) }
+
+// Summarize scans a trace and computes summary statistics. The unique-block
+// counts require memory proportional to the footprint; at experiment scale
+// this is a few million map entries.
+func Summarize(r Reader) (*Stats, error) {
+	st := &Stats{Servers: make(map[int]*ServerStats), FirstTime: -1}
+	// A block.Key embeds the server, so one seen-set serves both the
+	// ensemble-wide and the per-server unique counts.
+	seen := make(map[block.Key]bool)
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		ss := st.Servers[req.Server]
+		if ss == nil {
+			ss = &ServerStats{Server: req.Server, Volumes: make(map[int]bool)}
+			st.Servers[req.Server] = ss
+		}
+		ss.Volumes[req.Volume] = true
+		ss.Requests++
+		st.Requests++
+		blocks := int64(req.Blocks())
+		ss.BlockAccesses += blocks
+		st.BlockAccesses += blocks
+		if req.Kind == block.Write {
+			ss.Writes += blocks
+			st.Writes += blocks
+		} else {
+			ss.Reads += blocks
+			st.Reads += blocks
+		}
+		ss.BytesAccessed += int64(req.Length)
+		st.BytesAccessed += int64(req.Length)
+		first := req.Offset / block.Size
+		for i := 0; i < int(blocks); i++ {
+			k := block.MakeKey(req.Server, req.Volume, first+uint64(i))
+			if !seen[k] {
+				seen[k] = true
+				st.UniqueBlocks++
+				ss.UniqueBlocks++
+			}
+		}
+		if st.FirstTime < 0 || req.Time < st.FirstTime {
+			st.FirstTime = req.Time
+		}
+		if req.Time > st.LastTime {
+			st.LastTime = req.Time
+		}
+	}
+	if st.FirstTime < 0 {
+		st.FirstTime = 0
+	}
+	st.Days = DayOf(st.LastTime) + 1
+	if st.Requests == 0 {
+		st.Days = 0
+	}
+	return st, nil
+}

@@ -1,0 +1,258 @@
+// Package trace defines the block-trace model used throughout SieveStore:
+// streaming readers and writers in both the MSR-Cambridge CSV format and a
+// compact binary format, request→block expansion with completion-time
+// interpolation (paper §4), calendar-day partitioning, and trace summary
+// statistics (paper Table 1).
+package trace
+
+import (
+	"errors"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/block"
+)
+
+// Day is the epoch length used for calendar-day analysis. The paper
+// partitions its 8-calendar-day trace at midnight boundaries.
+const Day = int64(24 * time.Hour)
+
+// Minute is the granularity of the IOPS-occupancy accounting (§4).
+const Minute = int64(time.Minute)
+
+// DayOf returns the zero-based calendar day containing timestamp t
+// (nanoseconds since the trace epoch, which is midnight of day 0).
+func DayOf(t int64) int { return int(t / Day) }
+
+// MinuteOf returns the zero-based minute index containing timestamp t.
+func MinuteOf(t int64) int { return int(t / Minute) }
+
+// Reader is a stream of trace requests in non-decreasing time order.
+// Next returns io.EOF after the last request.
+type Reader interface {
+	Next() (block.Request, error)
+}
+
+// Writer consumes a stream of trace requests.
+type Writer interface {
+	Write(block.Request) error
+}
+
+// ErrUnsorted is returned by readers that require time order when they
+// observe a timestamp regression.
+var ErrUnsorted = errors.New("trace: requests out of time order")
+
+// SliceReader adapts an in-memory request slice to the Reader interface.
+type SliceReader struct {
+	reqs []block.Request
+	pos  int
+}
+
+// NewSliceReader returns a Reader over reqs. The slice is not copied.
+func NewSliceReader(reqs []block.Request) *SliceReader {
+	return &SliceReader{reqs: reqs}
+}
+
+// Next implements Reader.
+func (r *SliceReader) Next() (block.Request, error) {
+	if r.pos >= len(r.reqs) {
+		return block.Request{}, io.EOF
+	}
+	req := r.reqs[r.pos]
+	r.pos++
+	return req, nil
+}
+
+// Reset rewinds the reader to the start of the slice.
+func (r *SliceReader) Reset() { r.pos = 0 }
+
+// Collect drains a Reader into a slice. It is intended for tests and small
+// traces; experiment pipelines stream instead.
+func Collect(r Reader) ([]block.Request, error) {
+	var out []block.Request
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, req)
+	}
+}
+
+// SortByTime sorts requests in place by issue time (stable, so equal-time
+// requests keep their generation order, which keeps replays deterministic).
+func SortByTime(reqs []block.Request) {
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Time < reqs[j].Time })
+}
+
+// Filter returns a Reader that yields only requests for which keep returns
+// true.
+func Filter(r Reader, keep func(*block.Request) bool) Reader {
+	return &filterReader{r: r, keep: keep}
+}
+
+type filterReader struct {
+	r    Reader
+	keep func(*block.Request) bool
+}
+
+func (f *filterReader) Next() (block.Request, error) {
+	for {
+		req, err := f.r.Next()
+		if err != nil {
+			return req, err
+		}
+		if f.keep(&req) {
+			return req, nil
+		}
+	}
+}
+
+// ServerFilter yields only requests issued to the given server.
+func ServerFilter(r Reader, server int) Reader {
+	return Filter(r, func(req *block.Request) bool { return req.Server == server })
+}
+
+// VolumeFilter yields only requests issued to the given server volume.
+func VolumeFilter(r Reader, server, volume int) Reader {
+	return Filter(r, func(req *block.Request) bool {
+		return req.Server == server && req.Volume == volume
+	})
+}
+
+// DayFilter yields only requests issued during calendar day d.
+func DayFilter(r Reader, d int) Reader {
+	return Filter(r, func(req *block.Request) bool { return DayOf(req.Time) == d })
+}
+
+// Merge returns a Reader that merges several time-ordered readers into one
+// time-ordered stream (k-way merge). It is used to combine per-server trace
+// files into the ensemble trace.
+func Merge(readers ...Reader) Reader {
+	m := &mergeReader{}
+	for _, r := range readers {
+		req, err := r.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			m.err = err
+			continue
+		}
+		m.heads = append(m.heads, mergeHead{req: req, r: r})
+	}
+	m.heapify()
+	return m
+}
+
+type mergeHead struct {
+	req block.Request
+	r   Reader
+}
+
+type mergeReader struct {
+	heads []mergeHead
+	err   error
+}
+
+func (m *mergeReader) heapify() {
+	for i := len(m.heads)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+}
+
+func (m *mergeReader) siftDown(i int) {
+	n := len(m.heads)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && m.heads[l].req.Time < m.heads[least].req.Time {
+			least = l
+		}
+		if r < n && m.heads[r].req.Time < m.heads[least].req.Time {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		m.heads[i], m.heads[least] = m.heads[least], m.heads[i]
+		i = least
+	}
+}
+
+func (m *mergeReader) Next() (block.Request, error) {
+	if m.err != nil {
+		return block.Request{}, m.err
+	}
+	if len(m.heads) == 0 {
+		return block.Request{}, io.EOF
+	}
+	out := m.heads[0].req
+	req, err := m.heads[0].r.Next()
+	switch {
+	case err == io.EOF:
+		last := len(m.heads) - 1
+		m.heads[0] = m.heads[last]
+		m.heads = m.heads[:last]
+	case err != nil:
+		m.err = err
+	default:
+		m.heads[0].req = req
+	}
+	if len(m.heads) > 0 {
+		m.siftDown(0)
+	}
+	return out, nil
+}
+
+// Expand appends the per-block accesses of a request to dst and returns the
+// extended slice. Completion times for the individual blocks of a
+// multi-block request are linearly interpolated between the request's issue
+// time and its completion (issue+duration), matching the paper's
+// methodology (§4) for timing allocation-writes: block i of n completes at
+// issue + duration*(i+1)/n, so the last block completes exactly when the
+// request does.
+func Expand(dst []block.Access, req *block.Request) []block.Access {
+	n := req.Blocks()
+	first := req.Offset / block.Size
+	for i := 0; i < n; i++ {
+		t := req.Time + req.Duration*int64(i+1)/int64(n)
+		dst = append(dst, block.Access{
+			Time: t,
+			Key:  block.MakeKey(req.Server, req.Volume, first+uint64(i)),
+			Kind: req.Kind,
+		})
+	}
+	return dst
+}
+
+// Accesses converts a request Reader into a block.Access stream, expanding
+// multi-block requests. Accesses within a single request are emitted in
+// block order.
+type Accesses struct {
+	r   Reader
+	buf []block.Access
+	pos int
+}
+
+// NewAccesses wraps a request Reader into a per-block access stream.
+func NewAccesses(r Reader) *Accesses { return &Accesses{r: r} }
+
+// Next returns the next single-block access, or io.EOF.
+func (a *Accesses) Next() (block.Access, error) {
+	for a.pos >= len(a.buf) {
+		req, err := a.r.Next()
+		if err != nil {
+			return block.Access{}, err
+		}
+		a.buf = Expand(a.buf[:0], &req)
+		a.pos = 0
+	}
+	acc := a.buf[a.pos]
+	a.pos++
+	return acc, nil
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func testClock(t *testing.T, day int, burst float64) *dayClock {
+	t.Helper()
+	cfg := Default(8192)
+	p := &cfg.Servers[0]
+	p.BurstMinutes = burst
+	rng := rand.New(rand.NewSource(5))
+	return newDayClock(rng, &cfg, p, day)
+}
+
+func TestClockSamplesWithinDay(t *testing.T) {
+	c := testClock(t, 3, 0)
+	lo := int64(3) * trace.Day
+	hi := lo + trace.Day
+	for i := 0; i < 20000; i++ {
+		ts := c.sample()
+		if ts < lo || ts >= hi {
+			t.Fatalf("sample %d outside day 3", ts)
+		}
+	}
+}
+
+func TestClockDay0Truncation(t *testing.T) {
+	c := testClock(t, 0, 0)
+	start := int64(17) * 3600 * 1e9
+	for i := 0; i < 20000; i++ {
+		if ts := c.sample(); ts < start {
+			t.Fatalf("day-0 sample %d before trace start", ts)
+		}
+	}
+	if c.thinP <= 0 || c.thinP >= 1 {
+		t.Errorf("day-0 thinning probability = %v", c.thinP)
+	}
+	// Full days do not thin.
+	if c1 := testClock(t, 1, 0); c1.thinP != 1 {
+		t.Errorf("day-1 thinP = %v", c1.thinP)
+	}
+}
+
+func TestClockDiurnalShape(t *testing.T) {
+	c := testClock(t, 2, 0)
+	// The usr profile peaks at hour 14: samples near the peak must be much
+	// more frequent than at the antipode (hour 2).
+	var peak, trough int
+	for i := 0; i < 50000; i++ {
+		h := int((c.sample() - int64(2)*trace.Day) / (3600 * 1e9))
+		switch h {
+		case 13, 14, 15:
+			peak++
+		case 1, 2, 3:
+			trough++
+		}
+	}
+	if peak < 2*trough {
+		t.Errorf("diurnal shape weak: peak-hours %d vs trough-hours %d", peak, trough)
+	}
+}
+
+func TestClockBurstConcentration(t *testing.T) {
+	c := testClock(t, 2, 1.0) // expect one burst minute
+	if len(c.bursts) == 0 {
+		t.Skip("no burst drawn at this seed")
+	}
+	inBurst := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		m := trace.MinuteOf(c.sample()) - 2*24*60
+		for _, b := range c.bursts {
+			if m == b {
+				inBurst++
+				break
+			}
+		}
+	}
+	// A burst minute concentrates ~2% of the day's accesses — two orders
+	// of magnitude above a fair minute's 1/1440.
+	frac := float64(inBurst) / n
+	if frac < 0.005 {
+		t.Errorf("burst concentration %.4f too weak", frac)
+	}
+}
+
+func TestClockSpacedMonotoneAndBounded(t *testing.T) {
+	c := testClock(t, 1, 0)
+	lo := int64(1) * trace.Day
+	hi := lo + trace.Day
+	for count := 2; count <= 10; count++ {
+		prev := int64(-1)
+		for i := 0; i < count; i++ {
+			ts := c.spaced(0.5, i, count)
+			if ts < lo || ts >= hi {
+				t.Fatalf("spaced(%d/%d) = %d outside day", i, count, ts)
+			}
+			if ts <= prev-int64(trace.Minute)*30 {
+				t.Fatalf("spaced times regressed badly: %d after %d", ts, prev)
+			}
+			prev = ts
+		}
+	}
+	// Gaps must be hours apart for low counts (the anti-LRU property).
+	a := c.spaced(0.2, 0, 3)
+	b := c.spaced(0.2, 1, 3)
+	if gap := b - a; gap < int64(trace.Minute)*60 {
+		t.Errorf("gap %d ns too short for count-3 block", gap)
+	}
+}
+
+func TestHotBoostDeterministicAndBounded(t *testing.T) {
+	for s := 0; s < 13; s++ {
+		for d := 0; d < 8; d++ {
+			b1 := hotBoost(1, s, d)
+			b2 := hotBoost(1, s, d)
+			if b1 != b2 {
+				t.Fatalf("hotBoost not deterministic at (%d,%d)", s, d)
+			}
+			if b1 < 1.0 || b1 > 2.2 {
+				t.Fatalf("hotBoost(%d,%d) = %v out of range", s, d, b1)
+			}
+		}
+	}
+	if hotBoost(1, 0, 0) == hotBoost(2, 0, 0) {
+		t.Error("seed does not influence boost")
+	}
+}

@@ -1,0 +1,179 @@
+// Package workload synthesizes block-access traces whose statistics match
+// the MSR-Cambridge storage-ensemble traces the paper analyzes (§2):
+//
+//   - O1 (popularity skew): each day, roughly the top 1% of accessed blocks
+//     carry a large share of accesses (14–53% across days); ~99% of blocks
+//     see ≤10 accesses, ~97% see ≤4, and about half of all accessed blocks
+//     are touched exactly once.
+//   - O2 (skew variation): the hot-block set drifts from day to day with
+//     substantial successive-day overlap, and skew varies across servers
+//     (Prxy extreme, Src1 near-linear), across volumes of one server, and
+//     across days for one server.
+//
+// The generator is deterministic for a given Config (seeded math/rand) and
+// fully scale-parameterized: Scale divides footprints and access counts so
+// the same distributions can be produced at laptop scale while preserving
+// the capacity ratios (cache : daily top-1% : daily footprint) that the
+// paper's results depend on.
+package workload
+
+import "fmt"
+
+// ChunkBytes is the popularity granularity: blocks are grouped into 4 KiB
+// chunks (8 accounting blocks) that are accessed together, matching typical
+// page-sized I/O in the traces.
+const ChunkBytes = 4096
+
+// DefaultScale is the scale divisor used by the experiment harness: 1/512
+// of the paper's trace volume. Unit tests use coarser scales.
+const DefaultScale = 512
+
+// ServerProfile describes one server of the ensemble.
+type ServerProfile struct {
+	// Name is the MSR-style server key ("usr", "prxy", ...).
+	Name string
+	// Volumes is the number of storage volumes (Table 1).
+	Volumes int
+	// CapacityGB is the total provisioned capacity in GB (Table 1),
+	// before scaling.
+	CapacityGB float64
+	// DailyGB is the average unique data touched per day in GB, before
+	// scaling. Ensemble total ≈ 685 GB/day, range 335–1190 (paper §2).
+	DailyGB float64
+	// Theta is the Zipf-like exponent of the server's hot-set popularity.
+	// Higher values concentrate more accesses on fewer blocks. Prxy ≈ 1.5
+	// (extreme skew), Src1 ≈ 0.3 (near-linear cumulative curve).
+	Theta float64
+	// ThetaByDay optionally overrides Theta per calendar day (index = day).
+	// Used for servers such as Stg whose skew varies strongly in time
+	// (Fig 3(c)). Zero entries fall back to Theta.
+	ThetaByDay []float64
+	// VolumeSkew scales Theta per volume (Fig 3(b): Web volume 0 is much
+	// more skewed than volume 1). Missing entries default to 1.
+	VolumeSkew []float64
+	// WriteFraction is the probability that an access is a write.
+	WriteFraction float64
+	// HotDrift is the fraction of the hot set replaced each day (O2).
+	HotDrift float64
+	// DayMult scales DailyGB per calendar day; missing entries default
+	// to 1. Drives the day-to-day variation of each server's contribution
+	// to the ensemble top-1% (Fig 3(d)).
+	DayMult []float64
+	// PeakHour is the center of the server's diurnal load peak (0–23).
+	PeakHour float64
+	// BurstMinutes is the expected number of high-intensity minutes per
+	// day (correlated bursts are rare in the ensemble; §5.2).
+	BurstMinutes float64
+}
+
+// Config describes a whole synthetic ensemble trace.
+type Config struct {
+	// Scale divides all footprints and access counts. Must be ≥ 1.
+	Scale int
+	// Days is the number of calendar days (the paper uses 8, with day 0
+	// partial).
+	Days int
+	// Seed makes the trace deterministic.
+	Seed int64
+	// StartHour is the hour of day 0 at which tracing starts (the paper's
+	// collection began at 5:00 pm, so day 0 covers only 7 hours).
+	StartHour int
+	// Servers is the ensemble roster.
+	Servers []ServerProfile
+}
+
+// Validate checks configuration invariants.
+func (c *Config) Validate() error {
+	if c.Scale < 1 {
+		return fmt.Errorf("workload: Scale must be ≥1, got %d", c.Scale)
+	}
+	if c.Days < 1 {
+		return fmt.Errorf("workload: Days must be ≥1, got %d", c.Days)
+	}
+	if c.StartHour < 0 || c.StartHour > 23 {
+		return fmt.Errorf("workload: StartHour must be in [0,23], got %d", c.StartHour)
+	}
+	if len(c.Servers) == 0 {
+		return fmt.Errorf("workload: no servers configured")
+	}
+	for i, s := range c.Servers {
+		if s.Volumes < 1 {
+			return fmt.Errorf("workload: server %d (%s): Volumes must be ≥1", i, s.Name)
+		}
+		if s.CapacityGB <= 0 || s.DailyGB <= 0 {
+			return fmt.Errorf("workload: server %d (%s): capacities must be positive", i, s.Name)
+		}
+		if s.DailyGB > s.CapacityGB {
+			return fmt.Errorf("workload: server %d (%s): DailyGB %.1f exceeds CapacityGB %.1f",
+				i, s.Name, s.DailyGB, s.CapacityGB)
+		}
+		if s.WriteFraction < 0 || s.WriteFraction > 1 {
+			return fmt.Errorf("workload: server %d (%s): WriteFraction out of range", i, s.Name)
+		}
+		if s.HotDrift < 0 || s.HotDrift > 1 {
+			return fmt.Errorf("workload: server %d (%s): HotDrift out of range", i, s.Name)
+		}
+	}
+	return nil
+}
+
+// ServerNames returns the roster names in ID order.
+func (c *Config) ServerNames() []string {
+	names := make([]string, len(c.Servers))
+	for i, s := range c.Servers {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Default returns the 13-server ensemble of the paper's Table 1 with
+// per-server popularity parameters tuned to reproduce the published
+// observations, at the given scale.
+//
+// Capacity and volume counts are Table 1 verbatim; the per-server daily
+// footprints are chosen to sum to the upper-middle of the paper's daily
+// range (≈890 GB/day of the reported 335–1190 GB/day) with plausible per-server splits, since the paper does not
+// publish per-server access volumes.
+func Default(scale int) Config {
+	return Config{
+		Scale:     scale,
+		Days:      8,
+		Seed:      1,
+		StartHour: 17,
+		Servers: []ServerProfile{
+			{Name: "usr", Volumes: 3, CapacityGB: 1367, DailyGB: 156, Theta: 0.75,
+				WriteFraction: 0.22, HotDrift: 0.10, PeakHour: 14, BurstMinutes: 0.4,
+				DayMult: []float64{1, 1.3, 0.8, 1.1, 0.9, 1.2, 0.6, 0.7}},
+			{Name: "proj", Volumes: 5, CapacityGB: 2094, DailyGB: 208, Theta: 0.70,
+				WriteFraction: 0.20, HotDrift: 0.12, PeakHour: 11, BurstMinutes: 0.3,
+				DayMult: []float64{1, 0.8, 1.4, 1.0, 1.2, 0.7, 0.5, 1.1}},
+			{Name: "prn", Volumes: 2, CapacityGB: 452, DailyGB: 39, Theta: 0.65,
+				WriteFraction: 0.55, HotDrift: 0.15, PeakHour: 15, BurstMinutes: 0.2},
+			{Name: "hm", Volumes: 2, CapacityGB: 39, DailyGB: 6, Theta: 0.70,
+				WriteFraction: 0.45, HotDrift: 0.05, PeakHour: 3, BurstMinutes: 0.1},
+			{Name: "rsrch", Volumes: 3, CapacityGB: 277, DailyGB: 26, Theta: 0.70,
+				WriteFraction: 0.35, HotDrift: 0.10, PeakHour: 16, BurstMinutes: 0.1},
+			{Name: "prxy", Volumes: 2, CapacityGB: 89, DailyGB: 78, Theta: 1.05,
+				WriteFraction: 0.30, HotDrift: 0.05, PeakHour: 13, BurstMinutes: 0.6,
+				DayMult: []float64{1, 1.2, 1.1, 0.9, 1.0, 1.3, 0.8, 0.9}},
+			{Name: "src1", Volumes: 3, CapacityGB: 555, DailyGB: 182, Theta: 0.20,
+				WriteFraction: 0.25, HotDrift: 0.30, PeakHour: 10, BurstMinutes: 0.5,
+				DayMult: []float64{1, 0.9, 1.2, 1.4, 0.7, 1.0, 0.4, 0.6}},
+			{Name: "src2", Volumes: 3, CapacityGB: 355, DailyGB: 58, Theta: 0.65,
+				WriteFraction: 0.25, HotDrift: 0.15, PeakHour: 10, BurstMinutes: 0.2},
+			{Name: "stg", Volumes: 2, CapacityGB: 113, DailyGB: 19, Theta: 0.75,
+				ThetaByDay:    []float64{0.75, 0.7, 0.6, 0.35, 0.75, 1.1, 0.85, 0.7},
+				WriteFraction: 0.30, HotDrift: 0.12, PeakHour: 12, BurstMinutes: 0.2},
+			{Name: "ts", Volumes: 1, CapacityGB: 22, DailyGB: 3, Theta: 0.70,
+				WriteFraction: 0.30, HotDrift: 0.08, PeakHour: 9, BurstMinutes: 0.1},
+			{Name: "web", Volumes: 4, CapacityGB: 441, DailyGB: 52, Theta: 0.90,
+				VolumeSkew:    []float64{1.0, 0.45, 0.8, 0.7},
+				WriteFraction: 0.25, HotDrift: 0.08, PeakHour: 13, BurstMinutes: 0.4,
+				DayMult: []float64{1, 1.1, 0.9, 1.2, 1.0, 0.8, 1.1, 1.3}},
+			{Name: "mds", Volumes: 2, CapacityGB: 509, DailyGB: 32, Theta: 0.75,
+				WriteFraction: 0.15, HotDrift: 0.06, PeakHour: 20, BurstMinutes: 0.3},
+			{Name: "wdev", Volumes: 4, CapacityGB: 136, DailyGB: 28, Theta: 0.65,
+				WriteFraction: 0.50, HotDrift: 0.15, PeakHour: 11, BurstMinutes: 0.2},
+		},
+	}
+}
