@@ -4,7 +4,10 @@ GO ?= go
 
 .PHONY: all build test race cover bench experiments fuzz fmt vet clean
 
-all: build test
+# Tier-1 flow: compile, static checks, unit tests, then the race detector
+# over every package (the concurrent store/appliance paths must stay
+# race-clean).
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -13,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/appliance/ ./internal/store/ ./internal/replay/
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./internal/...

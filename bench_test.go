@@ -10,11 +10,15 @@
 package repro
 
 import (
+	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/appliance"
 	"repro/internal/block"
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -475,5 +479,117 @@ func BenchmarkCoreReadMiss(b *testing.B) {
 		if err := st.ReadAt(0, 0, buf, off); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// newLatencyStore builds a Store over a 1 ms-per-request sleeping backend —
+// slow enough that lock-vs-I/O overlap dominates the measurement.
+func newLatencyStore(b *testing.B) (*core.Store, *store.Latency) {
+	b.Helper()
+	mem := store.NewMem()
+	mem.AddVolume(0, 0, 1<<30)
+	lat := store.NewLatency(mem)
+	lat.PerRequest = time.Millisecond
+	lat.PerByte = 0
+	lat.Sleep = true
+	st, err := core.Open(lat, core.Options{
+		CacheBytes:   1 << 22,
+		SieveC:       sieve.CConfig{IMCTSize: 1 << 16, T1: 2, T2: 2, Window: time.Hour, Subwindows: 4},
+		TrackLatency: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st, lat
+}
+
+// BenchmarkConcurrentStore measures aggregate miss-path read throughput as
+// client goroutines grow. Every read targets a distinct block, so each op
+// pays the backend's 1 ms service time; with the store lock released during
+// backend I/O the per-op wall time should fall near-linearly with clients
+// (the acceptance bar is ≥2× aggregate throughput at 8 clients vs 1).
+func BenchmarkConcurrentStore(b *testing.B) {
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			st, _ := newLatencyStore(b)
+			defer st.Close()
+			var next atomic.Int64
+			b.SetBytes(4096)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < clients; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					buf := make([]byte, 4096)
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						off := uint64(i%(1<<16)) * 4096
+						if err := st.ReadAt(0, 0, buf, off); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+		})
+	}
+}
+
+// BenchmarkConcurrentAppliance is the same scaling probe end-to-end: N TCP
+// clients against one appliance server over loopback.
+func BenchmarkConcurrentAppliance(b *testing.B) {
+	for _, clients := range []int{1, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			st, _ := newLatencyStore(b)
+			defer st.Close()
+			srv := appliance.NewServer(st)
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			done := make(chan struct{})
+			go func() { defer close(done); srv.Serve(l) }()
+			defer func() { srv.Close(); <-done }()
+
+			conns := make([]*appliance.Client, clients)
+			for i := range conns {
+				c, err := appliance.Dial(l.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+			}
+			var next atomic.Int64
+			b.SetBytes(4096)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < clients; g++ {
+				wg.Add(1)
+				go func(c *appliance.Client) {
+					defer wg.Done()
+					buf := make([]byte, 4096)
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						off := uint64(i%(1<<16)) * 4096
+						if err := c.ReadAt(0, 0, buf, off); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(conns[g])
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+		})
 	}
 }

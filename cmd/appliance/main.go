@@ -15,6 +15,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -43,6 +44,7 @@ func main() {
 		volumeMB  = flag.Int64("volume-mb", 1024, "demo backend: per-server volume size in MiB")
 		dataDir   = flag.String("data", "", "back volumes with sparse files under this directory (empty: in-memory)")
 		statsEach = flag.Duration("stats", time.Minute, "stats logging interval (0 disables)")
+		trackLat  = flag.Bool("track-latency", true, "record per-op read/write service times (reported in stats)")
 	)
 	flag.Parse()
 
@@ -68,8 +70,9 @@ func main() {
 	}
 
 	opts := core.Options{
-		CacheBytes: *cacheMB << 20,
-		WriteBack:  *writeBack,
+		CacheBytes:   *cacheMB << 20,
+		WriteBack:    *writeBack,
+		TrackLatency: *trackLat,
 	}
 	switch *variant {
 	case "c":
@@ -110,9 +113,15 @@ func main() {
 		go func() {
 			for range time.Tick(*statsEach) {
 				s := st.Stats()
-				log.Printf("stats: accesses=%d hit=%.1f%% cached=%d/%d dirty=%d allocW=%d epochs=%d",
+				line := fmt.Sprintf("stats: accesses=%d hit=%.1f%% cached=%d/%d dirty=%d allocW=%d epochs=%d coalesced=%d",
 					s.Reads+s.Writes, 100*s.HitRatio(), s.CachedBlocks, s.CapacityBlocks,
-					s.DirtyBlocks, s.AllocWrites, s.Epochs)
+					s.DirtyBlocks, s.AllocWrites, s.Epochs, s.CoalescedReads)
+				if *trackLat {
+					line += fmt.Sprintf(" rdLat=%v/%v wrLat=%v/%v",
+						s.ReadLatency.Mean().Round(time.Microsecond), time.Duration(s.ReadLatency.MaxNanos).Round(time.Microsecond),
+						s.WriteLatency.Mean().Round(time.Microsecond), time.Duration(s.WriteLatency.MaxNanos).Round(time.Microsecond))
+				}
+				log.Print(line)
 			}
 		}()
 	}

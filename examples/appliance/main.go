@@ -48,6 +48,7 @@ func main() {
 			IMCTSize: 1 << 16, T1: 2, T2: 2,
 			Window: time.Hour, Subwindows: 4,
 		},
+		TrackLatency: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -112,4 +113,12 @@ func main() {
 	fmt.Printf("  ensemble load:    %d requests, %v of disk time avoided by %d hit-blocks\n",
 		ensemble.Ops(), (time.Duration(stats.Hits()/8) * 8 * time.Millisecond).Round(time.Millisecond), stats.Hits())
 	fmt.Printf("  ensemble busy:    %v (what the HDDs actually absorbed)\n", ensemble.BusyTime().Round(time.Millisecond))
+	fmt.Printf("  read latency:     mean %v, worst %v over %d ops (%.0f reads/s)\n",
+		stats.ReadLatency.Mean().Round(time.Microsecond),
+		time.Duration(stats.ReadLatency.MaxNanos).Round(time.Microsecond),
+		stats.ReadLatency.Ops, stats.ReadLatency.Throughput(elapsed))
+	fmt.Printf("  write latency:    mean %v, worst %v over %d ops (%.0f writes/s)\n",
+		stats.WriteLatency.Mean().Round(time.Microsecond),
+		time.Duration(stats.WriteLatency.MaxNanos).Round(time.Microsecond),
+		stats.WriteLatency.Ops, stats.WriteLatency.Throughput(elapsed))
 }

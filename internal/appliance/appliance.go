@@ -17,6 +17,7 @@
 package appliance
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -24,7 +25,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"unicode/utf8"
 
+	"repro/internal/block"
 	"repro/internal/core"
 )
 
@@ -51,10 +54,26 @@ const (
 	MaxIOBytes = 16 << 20
 
 	headerSize = 1 + 1 + 2 + 2 + 8 + 4
+
+	// maxErrMsg bounds an error-frame message (u16 length prefix).
+	maxErrMsg = 65535
+
+	// connBufSize sizes the per-connection bufio read/write buffers: large
+	// enough that a header + a 4 KiB page + the status byte coalesce into
+	// one syscall each way, small enough to be cheap per connection.
+	connBufSize = 32 << 10
 )
 
 // ErrProtocol reports a malformed frame.
 var ErrProtocol = errors.New("appliance: protocol error")
+
+// ErrBrokenConn reports a client connection abandoned after a transport
+// error: the wire position is unknown (a frame may have been half sent or
+// half read), so any further request would misparse stale bytes. Redial.
+var ErrBrokenConn = errors.New("appliance: connection broken by earlier transport error")
+
+// ErrAlreadyServing reports a second Serve call on the same Server.
+var ErrAlreadyServing = errors.New("appliance: Serve already called")
 
 // header is the fixed-size request prefix.
 type header struct {
@@ -110,18 +129,31 @@ func NewServer(st *core.Store) *Server {
 }
 
 // Serve accepts connections on l until Close is called. It always returns a
-// non-nil error (net.ErrClosed after a clean shutdown).
+// non-nil error: net.ErrClosed after a clean shutdown, ErrAlreadyServing if
+// the server already has a listener (a Server serves at most once).
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return net.ErrClosed
 	}
+	if s.listener != nil {
+		s.mu.Unlock()
+		return ErrAlreadyServing
+	}
 	s.listener = l
 	s.mu.Unlock()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			// After Close the accept error is an implementation detail of
+			// the listener; normalize it so callers can test for shutdown.
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return net.ErrClosed
+			}
 			return err
 		}
 		s.mu.Lock()
@@ -172,19 +204,42 @@ func (s *Server) Close() error {
 	return err
 }
 
-// serveConn handles one connection until EOF or error.
+// serveConn handles one connection until EOF or error. I/O is buffered per
+// connection, and every response — status byte plus payload — is staged in
+// the write buffer and flushed once, so a round trip costs one write
+// syscall instead of two unbuffered ones.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	br := bufio.NewReaderSize(conn, connBufSize)
+	bw := bufio.NewWriterSize(conn, connBufSize)
 	hdr := make([]byte, headerSize)
 	var payload []byte
 	for {
-		if _, err := io.ReadFull(conn, hdr); err != nil {
+		if _, err := io.ReadFull(br, hdr); err != nil {
 			return // EOF or broken connection
 		}
 		h, err := decodeHeader(hdr)
 		if err != nil {
-			s.writeErr(conn, err)
+			writeErr(bw, err)
 			return
+		}
+		// Reject IDs the packed block.Key cannot represent before they
+		// reach the store: MakeKey treats out-of-range components as a
+		// caller bug and panics, and a remote peer must not be able to
+		// take the daemon down with a stray header. The frame itself is
+		// well-formed, so answer with an error and keep the connection.
+		if int(h.server) >= block.MaxServers || int(h.volume) >= block.MaxVolumes {
+			if h.op == OpWrite {
+				// The write payload follows the header; drain it so the
+				// stream stays frame-aligned.
+				if _, err := io.CopyN(io.Discard, br, int64(h.length)); err != nil {
+					return
+				}
+			}
+			if !writeErr(bw, fmt.Errorf("appliance: server %d / volume %d out of range", h.server, h.volume)) {
+				return
+			}
+			continue
 		}
 		switch h.op {
 		case OpRead:
@@ -193,12 +248,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			buf := payload[:h.length]
 			if err := s.store.ReadAt(int(h.server), int(h.volume), buf, h.offset); err != nil {
-				if !s.writeErr(conn, err) {
+				if !writeErr(bw, err) {
 					return
 				}
 				continue
 			}
-			if !s.writeOK(conn, buf) {
+			if !writeOK(bw, buf) {
 				return
 			}
 		case OpWrite:
@@ -206,92 +261,111 @@ func (s *Server) serveConn(conn net.Conn) {
 				payload = make([]byte, h.length)
 			}
 			buf := payload[:h.length]
-			if _, err := io.ReadFull(conn, buf); err != nil {
+			if _, err := io.ReadFull(br, buf); err != nil {
 				return
 			}
 			if err := s.store.WriteAt(int(h.server), int(h.volume), buf, h.offset); err != nil {
-				if !s.writeErr(conn, err) {
+				if !writeErr(bw, err) {
 					return
 				}
 				continue
 			}
-			if !s.writeOK(conn, nil) {
+			if !writeOK(bw, nil) {
 				return
 			}
 		case OpStats:
 			data, err := json.Marshal(s.store.Stats())
 			if err != nil {
-				if !s.writeErr(conn, err) {
+				if !writeErr(bw, err) {
 					return
 				}
 				continue
 			}
 			var lenBuf [4]byte
 			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
-			if !s.writeOK(conn, append(lenBuf[:], data...)) {
+			if !writeOK(bw, append(lenBuf[:], data...)) {
 				return
 			}
 		case OpRotate:
 			if err := s.store.RotateEpoch(); err != nil {
-				if !s.writeErr(conn, err) {
+				if !writeErr(bw, err) {
 					return
 				}
 				continue
 			}
-			if !s.writeOK(conn, nil) {
+			if !writeOK(bw, nil) {
 				return
 			}
 		case OpInvalidate:
 			dropped, err := s.store.Invalidate(int(h.server), int(h.volume), h.offset, int(h.length))
 			if err != nil {
-				if !s.writeErr(conn, err) {
+				if !writeErr(bw, err) {
 					return
 				}
 				continue
 			}
 			var resp [4]byte
 			binary.BigEndian.PutUint32(resp[:], uint32(dropped))
-			if !s.writeOK(conn, resp[:]) {
+			if !writeOK(bw, resp[:]) {
 				return
 			}
 		default:
-			s.writeErr(conn, fmt.Errorf("%w: unknown op %d", ErrProtocol, h.op))
+			writeErr(bw, fmt.Errorf("%w: unknown op %d", ErrProtocol, h.op))
 			return
 		}
 	}
 }
 
-func (s *Server) writeOK(conn net.Conn, payload []byte) bool {
-	if _, err := conn.Write([]byte{statusOK}); err != nil {
-		return false
-	}
+// writeOK stages status + payload and flushes the response in one write.
+func writeOK(bw *bufio.Writer, payload []byte) bool {
+	bw.WriteByte(statusOK)
 	if len(payload) > 0 {
-		if _, err := conn.Write(payload); err != nil {
-			return false
-		}
+		bw.Write(payload)
 	}
-	return true
+	return bw.Flush() == nil
 }
 
-func (s *Server) writeErr(conn net.Conn, err error) bool {
-	msg := err.Error()
-	if len(msg) > 65535 {
-		msg = msg[:65535]
+// writeErr stages an error frame and flushes it in one write.
+func writeErr(bw *bufio.Writer, err error) bool {
+	msg := truncateErrMsg(err.Error(), maxErrMsg)
+	bw.WriteByte(statusErr)
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(msg)))
+	bw.Write(lenBuf[:])
+	bw.WriteString(msg)
+	return bw.Flush() == nil
+}
+
+// truncateErrMsg caps msg at max bytes without splitting a UTF-8 rune:
+// naive byte truncation at the frame limit could cut mid-sequence and hand
+// the client an invalid string.
+func truncateErrMsg(msg string, max int) string {
+	if len(msg) <= max {
+		return msg
 	}
-	frame := make([]byte, 3+len(msg))
-	frame[0] = statusErr
-	binary.BigEndian.PutUint16(frame[1:], uint16(len(msg)))
-	copy(frame[3:], msg)
-	_, werr := conn.Write(frame)
-	return werr == nil
+	cut := max
+	for cut > 0 && !utf8.RuneStart(msg[cut]) {
+		cut--
+	}
+	return msg[:cut]
 }
 
 // Client is a connection to an appliance Server. It is safe for concurrent
 // use; requests are serialized on the single connection.
+//
+// Any transport error (failed or partial frame write/read) leaves the wire
+// position unknown, so the client marks itself broken, closes the
+// connection, and fails every subsequent call with ErrBrokenConn — the
+// alternative is silently misparsing a stale byte of a half-read response
+// as the next call's status frame. Server-reported RemoteErrors leave the
+// protocol aligned and do not break the client.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	hdr  [headerSize]byte
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	hdr    [headerSize]byte
+	broken error // first transport error; nil while the connection is usable
 }
 
 // Dial connects to an appliance at addr.
@@ -300,14 +374,33 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, connBufSize),
+		bw:   bufio.NewWriterSize(conn, connBufSize),
+	}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn.Close()
+	err := c.conn.Close()
+	if c.broken != nil {
+		// fail already closed the conn; the second close's error is noise.
+		return nil
+	}
+	return err
+}
+
+// fail marks the connection permanently broken and closes it (the wire
+// position is unknown, so it can never be safely reused).
+func (c *Client) fail(err error) error {
+	if c.broken == nil {
+		c.broken = err
+		c.conn.Close()
+	}
+	return err
 }
 
 // RemoteError is a server-side failure reported over the protocol.
@@ -316,32 +409,43 @@ type RemoteError struct{ Msg string }
 // Error implements error.
 func (e *RemoteError) Error() string { return "appliance: remote: " + e.Msg }
 
-// roundTrip sends a frame and reads the status byte; on server error it
-// consumes and returns the message.
+// roundTrip sends a frame (header and payload coalesced into one buffered
+// write) and reads the status byte; on server error it consumes and
+// returns the message. Transport errors break the client.
 func (c *Client) roundTrip(h header, writePayload []byte) error {
+	if c.broken != nil {
+		return fmt.Errorf("%w: %w", ErrBrokenConn, c.broken)
+	}
 	h.encode(c.hdr[:])
-	if _, err := c.conn.Write(c.hdr[:]); err != nil {
-		return err
+	if _, err := c.bw.Write(c.hdr[:]); err != nil {
+		return c.fail(err)
 	}
 	if len(writePayload) > 0 {
-		if _, err := c.conn.Write(writePayload); err != nil {
-			return err
+		if _, err := c.bw.Write(writePayload); err != nil {
+			return c.fail(err)
 		}
 	}
-	var status [1]byte
-	if _, err := io.ReadFull(c.conn, status[:]); err != nil {
-		return err
+	if err := c.bw.Flush(); err != nil {
+		return c.fail(err)
 	}
-	if status[0] == statusOK {
+	var status [1]byte
+	if _, err := io.ReadFull(c.br, status[:]); err != nil {
+		return c.fail(err)
+	}
+	switch status[0] {
+	case statusOK:
 		return nil
+	case statusErr:
+	default:
+		return c.fail(fmt.Errorf("%w: bad status 0x%02x", ErrProtocol, status[0]))
 	}
 	var lenBuf [2]byte
-	if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
-		return err
+	if _, err := io.ReadFull(c.br, lenBuf[:]); err != nil {
+		return c.fail(err)
 	}
 	msg := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
-	if _, err := io.ReadFull(c.conn, msg); err != nil {
-		return err
+	if _, err := io.ReadFull(c.br, msg); err != nil {
+		return c.fail(err)
 	}
 	return &RemoteError{Msg: string(msg)}
 }
@@ -357,8 +461,10 @@ func (c *Client) ReadAt(server, volume int, p []byte, off uint64) error {
 	if err := c.roundTrip(h, nil); err != nil {
 		return err
 	}
-	_, err := io.ReadFull(c.conn, p)
-	return err
+	if _, err := io.ReadFull(c.br, p); err != nil {
+		return c.fail(err)
+	}
+	return nil
 }
 
 // WriteAt writes p to the remote volume at off.
@@ -391,8 +497,8 @@ func (c *Client) Invalidate(server, volume int, off uint64, length int) (int, er
 		return 0, err
 	}
 	var resp [4]byte
-	if _, err := io.ReadFull(c.conn, resp[:]); err != nil {
-		return 0, err
+	if _, err := io.ReadFull(c.br, resp[:]); err != nil {
+		return 0, c.fail(err)
 	}
 	return int(binary.BigEndian.Uint32(resp[:])), nil
 }
@@ -406,12 +512,12 @@ func (c *Client) Stats() (core.Stats, error) {
 		return st, err
 	}
 	var lenBuf [4]byte
-	if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
-		return st, err
+	if _, err := io.ReadFull(c.br, lenBuf[:]); err != nil {
+		return st, c.fail(err)
 	}
 	data := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
-	if _, err := io.ReadFull(c.conn, data); err != nil {
-		return st, err
+	if _, err := io.ReadFull(c.br, data); err != nil {
+		return st, c.fail(err)
 	}
 	err := json.Unmarshal(data, &st)
 	return st, err

@@ -130,6 +130,9 @@ func (sc *StripedClient) Stats() (core.Stats, error) {
 		total.BackendBytesWritten += s.BackendBytesWritten
 		total.CacheBytesServed += s.CacheBytesServed
 		total.BackendBytesServedRead += s.BackendBytesServedRead
+		total.CoalescedReads += s.CoalescedReads
+		total.ReadLatency = total.ReadLatency.Add(s.ReadLatency)
+		total.WriteLatency = total.WriteLatency.Add(s.WriteLatency)
 	}
 	return total, nil
 }

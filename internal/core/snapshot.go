@@ -105,6 +105,9 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 	}
 	count := binary.BigEndian.Uint64(u64[:])
 
+	// The snapshot replaces the cache contents wholesale and its data is
+	// trusted over the backend's; in-flight fetches must not install.
+	s.staleAllFlightsLocked()
 	// Drop current contents. Dirty blocks are flushed rather than lost.
 	for _, k := range s.tags.Keys() {
 		if s.dirty[k] {

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/cache"
+	"repro/internal/metrics"
 	"repro/internal/sieve"
 	"repro/internal/sieved"
 )
@@ -79,6 +80,10 @@ type Options struct {
 	// Flush, or Close. The default is write-through (the backend is always
 	// authoritative), which is what the paper's appliance model implies.
 	WriteBack bool
+	// TrackLatency records whole-call ReadAt/WriteAt service times into
+	// Stats.ReadLatency/WriteLatency (a few atomic ops per call; off by
+	// default so trace replay stays allocation- and syscall-identical).
+	TrackLatency bool
 	// Now supplies time; nil means time.Now. Injectable for tests and
 	// trace replay.
 	Now func() time.Time
@@ -132,6 +137,12 @@ type Stats struct {
 	BackendBytesWritten    int64
 	CacheBytesServed       int64 // bytes of reads served from cache
 	BackendBytesServedRead int64
+	CoalescedReads         int64 // miss blocks served by joining another caller's in-flight fetch
+
+	// ReadLatency/WriteLatency aggregate whole-call ReadAt/WriteAt service
+	// times when Options.TrackLatency is set (zero otherwise).
+	ReadLatency  metrics.OpLatencySnapshot
+	WriteLatency metrics.OpLatencySnapshot
 }
 
 // Hits returns total block hits.
@@ -153,23 +164,53 @@ var ErrClosed = errors.New("core: store is closed")
 var ErrAlignment = errors.New("core: offset and length must be multiples of 512")
 
 // Store is a SieveStore cache instance. It is safe for concurrent use.
+//
+// Concurrency model: mu guards all cache metadata (tags, frames, dirty,
+// sieve state, stats), but is never held across hot-path backend I/O.
+// A miss reserves its keys in the in-flight table, releases mu, fetches
+// from the ensemble, then re-acquires mu for sieve admission and frame
+// installation. Duplicate concurrent misses for a key coalesce onto the
+// first fetch (single-flight); writes reserve their key range so
+// backend-write order and cache-update order cannot invert.
 type Store struct {
 	backend Backend
 	opts    Options
 
-	mu     sync.Mutex
-	tags   *cache.Cache
-	frames map[block.Key][]byte
-	dirty  map[block.Key]bool
-	free   [][]byte
-	sieveC *sieve.C
-	logger *sieved.Logger
+	mu       sync.Mutex
+	tags     *cache.Cache
+	frames   map[block.Key][]byte
+	dirty    map[block.Key]bool
+	free     [][]byte
+	inflight map[block.Key]*flight
+	sieveC   *sieve.C
+	logger   *sieved.Logger
 	// epoch state (VariantD)
 	start    time.Time
 	curEpoch int64
 	ownSpill string // temp dir to remove on Close, if any
 	stats    Stats
 	closed   bool
+
+	latRead  metrics.OpLatency
+	latWrite metrics.OpLatency
+}
+
+// flight is one entry of the per-key in-flight table: a miss fetch or a
+// write reservation in progress with mu released. Readers that miss on a
+// reserved key register as waiters and are served from the flight instead
+// of issuing a duplicate backend fetch.
+type flight struct {
+	done chan struct{} // closed (under mu) when the operation completes
+	// All remaining fields are guarded by Store.mu until done is closed;
+	// afterwards they are read-only (the channel close publishes them).
+	data    []byte // the block's bytes; set at completion iff waiters > 0
+	err     error  // fetch/write failure, propagated to waiters
+	waiters int
+	// stale marks keys invalidated or batch-replaced while the flight was
+	// in the air: the owner must not install its (now outdated) view into
+	// the cache. The entry is detached from the table when marked, so new
+	// misses start a fresh fetch.
+	stale bool
 }
 
 // Open validates opts and returns a ready Store over backend.
@@ -182,12 +223,13 @@ func Open(backend Backend, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		backend: backend,
-		opts:    o,
-		tags:    cache.New(int(o.CacheBytes / block.Size)),
-		frames:  make(map[block.Key][]byte),
-		dirty:   make(map[block.Key]bool),
-		start:   o.Now(),
+		backend:  backend,
+		opts:     o,
+		tags:     cache.New(int(o.CacheBytes / block.Size)),
+		frames:   make(map[block.Key][]byte),
+		dirty:    make(map[block.Key]bool),
+		inflight: make(map[block.Key]*flight),
+		start:    o.Now(),
 	}
 	s.stats.CapacityBlocks = o.CacheBytes / block.Size
 	switch o.Variant {
@@ -233,6 +275,8 @@ func (s *Store) Stats() Stats {
 	if s.sieveC != nil {
 		st.SieveTrackedBlocks = int64(s.sieveC.Stats().MCTSize)
 	}
+	st.ReadLatency = s.latRead.Snapshot()
+	st.WriteLatency = s.latWrite.Snapshot()
 	return st
 }
 
@@ -270,102 +314,248 @@ func checkIO(p []byte, off uint64) error {
 // ReadAt reads len(p) bytes from the volume at off, serving cached blocks
 // from the cache and the rest from the backend. Missing blocks are offered
 // to the sieve and admitted only if it approves.
-func (s *Store) ReadAt(server, volume int, p []byte, off uint64) error {
+//
+// The backend fetch happens without the store lock: missing keys are first
+// reserved in the in-flight table (misses already being fetched by another
+// caller are joined rather than refetched), then read from the ensemble,
+// and finally — under the lock again — offered to the sieve and installed.
+func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 	if err := checkIO(p, off); err != nil {
 		return err
 	}
+	if s.opts.TrackLatency {
+		start := time.Now()
+		defer func() { s.latRead.Observe(time.Since(start), err != nil) }()
+	}
+	nBlocks := len(p) / block.Size
+	first := off / block.Size
+
+	// A miss is either owned (this call fetches it) or joined (another
+	// call's flight will deliver it); idx is the block's position in p.
+	type miss struct {
+		idx int
+		key block.Key
+		f   *flight
+	}
+	var mine, joined []miss
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	s.rotateIfDue()
-	nBlocks := len(p) / block.Size
-	first := off / block.Size
 	now := s.now()
 	s.logAccess(server, volume, first, nBlocks)
 	s.stats.Reads += int64(nBlocks)
-
-	// Serve cached blocks; gather missing runs.
-	type run struct{ start, n int }
-	var missing []run
-	for i := 0; i < nBlocks; {
+	for i := 0; i < nBlocks; i++ {
 		key := block.MakeKey(server, volume, first+uint64(i))
 		if s.tags.Touch(key) {
 			copy(p[i*block.Size:(i+1)*block.Size], s.frames[key])
 			s.stats.ReadHits++
 			s.stats.CacheBytesServed += block.Size
-			i++
 			continue
 		}
-		r := run{start: i, n: 1}
-		for i++; i < nBlocks; i++ {
-			k := block.MakeKey(server, volume, first+uint64(i))
-			if s.tags.Contains(k) {
-				break
-			}
-			r.n++
+		if f, ok := s.inflight[key]; ok {
+			f.waiters++
+			s.stats.CoalescedReads++
+			joined = append(joined, miss{idx: i, key: key, f: f})
+			continue
 		}
-		missing = append(missing, r)
+		f := &flight{done: make(chan struct{})}
+		s.inflight[key] = f
+		mine = append(mine, miss{idx: i, key: key, f: f})
 	}
-	// Fetch missing runs from the ensemble.
-	for _, r := range missing {
-		buf := p[r.start*block.Size : (r.start+r.n)*block.Size]
-		if err := s.backend.ReadAt(server, volume, buf, off+uint64(r.start)*block.Size); err != nil {
-			return err
+	s.mu.Unlock()
+
+	// Fetch owned misses from the ensemble in contiguous runs — lock-free,
+	// so concurrent callers overlap their backend latency.
+	var fetchErr error
+	var nReads, nBytes int64
+	okUpto := len(mine)
+	for lo := 0; lo < len(mine); {
+		hi := lo + 1
+		for hi < len(mine) && mine[hi].idx == mine[hi-1].idx+1 {
+			hi++
 		}
-		s.stats.BackendReads++
-		s.stats.BackendBytesRead += int64(len(buf))
-		s.stats.BackendBytesServedRead += int64(len(buf))
-		// Offer each fetched block to the sieve.
-		for i := r.start; i < r.start+r.n; i++ {
-			key := block.MakeKey(server, volume, first+uint64(i))
-			if err := s.maybeAdmit(key, p[i*block.Size:(i+1)*block.Size], block.Read, now, false); err != nil {
-				return err
+		buf := p[mine[lo].idx*block.Size : (mine[hi-1].idx+1)*block.Size]
+		if e := s.backend.ReadAt(server, volume, buf, off+uint64(mine[lo].idx)*block.Size); e != nil {
+			fetchErr = e
+			okUpto = lo
+			break
+		}
+		nReads++
+		nBytes += int64(len(buf))
+		lo = hi
+	}
+
+	// Re-acquire to account, admit, and complete the owned flights. Blocks
+	// fetched before a failed run are still admitted (matching the old
+	// run-at-a-time behavior).
+	s.mu.Lock()
+	s.stats.BackendReads += nReads
+	s.stats.BackendBytesRead += nBytes
+	s.stats.BackendBytesServedRead += nBytes
+	for j, m := range mine {
+		if j < okUpto {
+			data := p[m.idx*block.Size : (m.idx+1)*block.Size]
+			if !m.f.stale && !s.closed {
+				if aerr := s.maybeAdmit(m.key, data, block.Read, now, false); aerr != nil && fetchErr == nil {
+					fetchErr = aerr
+				}
 			}
+			if m.f.waiters > 0 {
+				m.f.data = append([]byte(nil), data...)
+			}
+		} else {
+			m.f.err = fetchErr
+		}
+		if s.inflight[m.key] == m.f {
+			delete(s.inflight, m.key)
+		}
+		close(m.f.done)
+	}
+	s.mu.Unlock()
+	if fetchErr != nil {
+		return fetchErr
+	}
+
+	// Join coalesced misses last: every flight this call owns is already
+	// completed above, so blocking here cannot deadlock.
+	for _, m := range joined {
+		dst := p[m.idx*block.Size : (m.idx+1)*block.Size]
+		if err := s.awaitFlight(m.f, m.key, dst, now); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
+// awaitFlight waits for another caller's in-flight fetch of key and copies
+// the result into dst. If that flight failed, the block is re-fetched
+// directly (joining yet another flight if one has appeared meanwhile).
+func (s *Store) awaitFlight(f *flight, key block.Key, dst []byte, now time.Time) error {
+	for {
+		<-f.done
+		if f.err == nil {
+			copy(dst, f.data)
+			return nil
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		if s.tags.Touch(key) {
+			copy(dst, s.frames[key])
+			s.stats.ReadHits++
+			s.stats.CacheBytesServed += block.Size
+			s.mu.Unlock()
+			return nil
+		}
+		if nf, ok := s.inflight[key]; ok {
+			nf.waiters++
+			s.mu.Unlock()
+			f = nf
+			continue
+		}
+		nf := &flight{done: make(chan struct{})}
+		s.inflight[key] = nf
+		s.mu.Unlock()
+
+		err := s.backend.ReadAt(key.Server(), key.Volume(), dst, key.Offset())
+
+		s.mu.Lock()
+		if err == nil {
+			s.stats.BackendReads++
+			s.stats.BackendBytesRead += block.Size
+			s.stats.BackendBytesServedRead += block.Size
+			if !nf.stale && !s.closed {
+				if aerr := s.maybeAdmit(key, dst, block.Read, now, false); aerr != nil {
+					err = aerr
+				}
+			}
+			if nf.waiters > 0 {
+				nf.data = append([]byte(nil), dst...)
+			}
+		} else {
+			nf.err = err
+		}
+		if s.inflight[key] == nf {
+			delete(s.inflight, key)
+		}
+		close(nf.done)
+		s.mu.Unlock()
+		return err
+	}
+}
+
 // WriteAt writes p through to the backend, updating cached blocks in place
 // and offering missing blocks to the sieve.
-func (s *Store) WriteAt(server, volume int, p []byte, off uint64) error {
+//
+// The backend write happens without the store lock. The written key range
+// is reserved in the in-flight table first, which (a) serializes
+// overlapping writes so backend order and cache order cannot invert, and
+// (b) lets concurrent read misses on these keys coalesce onto the written
+// data instead of racing the write with a backend fetch.
+func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 	if err := checkIO(p, off); err != nil {
 		return err
 	}
+	if s.opts.TrackLatency {
+		start := time.Now()
+		defer func() { s.latWrite.Observe(time.Since(start), err != nil) }()
+	}
+	nBlocks := len(p) / block.Size
+	first := off / block.Size
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	s.rotateIfDue()
-	nBlocks := len(p) / block.Size
-	first := off / block.Size
 	now := s.now()
 	s.logAccess(server, volume, first, nBlocks)
 	s.stats.Writes += int64(nBlocks)
+	flights, rerr := s.reserveRangeLocked(server, volume, first, nBlocks)
+	if rerr != nil {
+		s.mu.Unlock()
+		return rerr
+	}
 
 	if !s.opts.WriteBack {
-		// Write-through: the backend is always authoritative.
-		if err := s.backend.WriteAt(server, volume, p, off); err != nil {
-			return err
-		}
-		s.stats.BackendWrites++
-		s.stats.BackendBytesWritten += int64(len(p))
-		for i := 0; i < nBlocks; i++ {
-			key := block.MakeKey(server, volume, first+uint64(i))
-			data := p[i*block.Size : (i+1)*block.Size]
-			if s.tags.Touch(key) {
-				copy(s.frames[key], data)
-				s.stats.WriteHits++
-				continue
+		// Write-through: the backend is always authoritative. Write it
+		// first (unlocked), then fold the data into the cache.
+		s.mu.Unlock()
+		werr := s.backend.WriteAt(server, volume, p, off)
+		s.mu.Lock()
+		var aerr error
+		if werr == nil {
+			s.stats.BackendWrites++
+			s.stats.BackendBytesWritten += int64(len(p))
+			for i := 0; i < nBlocks; i++ {
+				if flights[i].stale || s.closed {
+					continue // invalidated (or store closed) mid-write
+				}
+				key := block.MakeKey(server, volume, first+uint64(i))
+				data := p[i*block.Size : (i+1)*block.Size]
+				if s.tags.Touch(key) {
+					copy(s.frames[key], data)
+					s.stats.WriteHits++
+					continue
+				}
+				if aerr == nil {
+					aerr = s.maybeAdmit(key, data, block.Write, now, false)
+				}
 			}
-			if err := s.maybeAdmit(key, data, block.Write, now, false); err != nil {
-				return err
-			}
 		}
-		return nil
+		s.completeRangeLocked(server, volume, first, flights, p, werr)
+		s.mu.Unlock()
+		if werr != nil {
+			return werr
+		}
+		return aerr
 	}
 
 	// Write-back: cached (and newly admitted) blocks absorb the write and
@@ -381,9 +571,11 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) error {
 			s.stats.WriteHits++
 			continue
 		}
-		admitted, err := s.tryAdmit(key, data, block.Write, now, true)
-		if err != nil {
-			return err
+		admitted, aerr := s.tryAdmit(key, data, block.Write, now, true)
+		if aerr != nil {
+			s.completeRangeLocked(server, volume, first, flights, nil, aerr)
+			s.mu.Unlock()
+			return aerr
 		}
 		if admitted {
 			continue
@@ -394,15 +586,86 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) error {
 			through = append(through, run{start: i, n: 1})
 		}
 	}
+	s.mu.Unlock()
+
+	var werr error
+	var nWrites, nBytes int64
 	for _, r := range through {
 		buf := p[r.start*block.Size : (r.start+r.n)*block.Size]
-		if err := s.backend.WriteAt(server, volume, buf, off+uint64(r.start)*block.Size); err != nil {
-			return err
+		if werr = s.backend.WriteAt(server, volume, buf, off+uint64(r.start)*block.Size); werr != nil {
+			break
 		}
-		s.stats.BackendWrites++
-		s.stats.BackendBytesWritten += int64(len(buf))
+		nWrites++
+		nBytes += int64(len(buf))
 	}
-	return nil
+	s.mu.Lock()
+	s.stats.BackendWrites += nWrites
+	s.stats.BackendBytesWritten += nBytes
+	s.completeRangeLocked(server, volume, first, flights, p, werr)
+	s.mu.Unlock()
+	return werr
+}
+
+// reserveRangeLocked claims every key in [first, first+n) in the in-flight
+// table for a write. Acquisition is all-or-nothing: if any key is already
+// claimed (a miss fetch or another write), the lock is dropped and the
+// caller waits for that flight with no reservations of its own held, then
+// retries — so reservation can never deadlock. Callers must hold s.mu; it
+// may be released and re-acquired.
+func (s *Store) reserveRangeLocked(server, volume int, first uint64, n int) ([]*flight, error) {
+	for {
+		var conflict *flight
+		for i := 0; i < n; i++ {
+			if f, ok := s.inflight[block.MakeKey(server, volume, first+uint64(i))]; ok {
+				conflict = f
+				break
+			}
+		}
+		if conflict == nil {
+			break
+		}
+		s.mu.Unlock()
+		<-conflict.done
+		s.mu.Lock()
+		if s.closed {
+			return nil, ErrClosed
+		}
+	}
+	flights := make([]*flight, n)
+	for i := range flights {
+		f := &flight{done: make(chan struct{})}
+		s.inflight[block.MakeKey(server, volume, first+uint64(i))] = f
+		flights[i] = f
+	}
+	return flights, nil
+}
+
+// completeRangeLocked publishes a write's outcome to any coalesced readers
+// and releases the reservation. p is the written payload (nil when the
+// operation failed before producing data); err is propagated to waiters.
+func (s *Store) completeRangeLocked(server, volume int, first uint64, flights []*flight, p []byte, err error) {
+	for i, f := range flights {
+		if err != nil {
+			f.err = err
+		} else if f.waiters > 0 && p != nil {
+			f.data = append([]byte(nil), p[i*block.Size:(i+1)*block.Size]...)
+		}
+		key := block.MakeKey(server, volume, first+uint64(i))
+		if s.inflight[key] == f {
+			delete(s.inflight, key)
+		}
+		close(f.done)
+	}
+}
+
+// staleAllFlightsLocked detaches every in-flight entry and marks it stale.
+// Called by bulk cache replacements (epoch rotation, snapshot load) so
+// that operations completing afterwards cannot install outdated frames.
+func (s *Store) staleAllFlightsLocked() {
+	for key, f := range s.inflight {
+		f.stale = true
+		delete(s.inflight, key)
+	}
 }
 
 // Flush writes every dirty block back to the ensemble (write-back mode).
@@ -560,6 +823,9 @@ func (s *Store) rotateLocked() error {
 	if err != nil {
 		return err
 	}
+	// The epoch boundary replaces the cache contents wholesale; anything
+	// still in flight must not install into the new epoch's set.
+	s.staleAllFlightsLocked()
 	if cap := s.tags.Capacity(); len(selected) > cap {
 		selected = selected[:cap]
 	}
@@ -624,6 +890,13 @@ func (s *Store) Invalidate(server, volume int, off uint64, length int) (int, err
 	dropped := 0
 	for i := 0; i < length/block.Size; i++ {
 		key := block.MakeKey(server, volume, first+uint64(i))
+		// A fetch or write in flight for this key would re-install data
+		// from before the invalidation: mark it stale so its owner skips
+		// the install, and detach it so later misses fetch fresh.
+		if f, ok := s.inflight[key]; ok {
+			f.stale = true
+			delete(s.inflight, key)
+		}
 		if !s.tags.Contains(key) {
 			continue
 		}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOpLatencyBasic(t *testing.T) {
+	var l OpLatency
+	l.Observe(10*time.Millisecond, false)
+	l.Observe(30*time.Millisecond, true)
+	l.Observe(20*time.Millisecond, false)
+
+	s := l.Snapshot()
+	if s.Ops != 3 || s.Errors != 1 {
+		t.Fatalf("ops/errors = %d/%d, want 3/1", s.Ops, s.Errors)
+	}
+	if s.TotalNanos != int64(60*time.Millisecond) {
+		t.Errorf("total = %d", s.TotalNanos)
+	}
+	if s.MaxNanos != int64(30*time.Millisecond) {
+		t.Errorf("max = %d", s.MaxNanos)
+	}
+	if got := s.Mean(); got != 20*time.Millisecond {
+		t.Errorf("mean = %v, want 20ms", got)
+	}
+	if got := s.Throughput(2 * time.Second); got != 1.5 {
+		t.Errorf("throughput = %v, want 1.5 ops/s", got)
+	}
+}
+
+func TestOpLatencyZeroValues(t *testing.T) {
+	var s OpLatencySnapshot
+	if s.Mean() != 0 {
+		t.Error("mean of empty snapshot should be 0")
+	}
+	if s.Throughput(time.Second) != 0 {
+		t.Error("throughput of empty snapshot should be 0")
+	}
+	if s.Throughput(0) != 0 {
+		t.Error("throughput over zero elapsed should be 0, not +Inf")
+	}
+	// Negative durations are clamped, not allowed to corrupt the counters.
+	var l OpLatency
+	l.Observe(-time.Second, false)
+	if got := l.Snapshot(); got.TotalNanos != 0 || got.MaxNanos != 0 || got.Ops != 1 {
+		t.Errorf("negative observe: %+v", got)
+	}
+}
+
+func TestOpLatencySnapshotAdd(t *testing.T) {
+	a := OpLatencySnapshot{Ops: 2, Errors: 1, TotalNanos: 100, MaxNanos: 70}
+	b := OpLatencySnapshot{Ops: 3, Errors: 0, TotalNanos: 50, MaxNanos: 90}
+	sum := a.Add(b)
+	if sum.Ops != 5 || sum.Errors != 1 || sum.TotalNanos != 150 || sum.MaxNanos != 90 {
+		t.Errorf("merge = %+v", sum)
+	}
+	// Add must be commutative over the max.
+	if got := b.Add(a); got != sum {
+		t.Errorf("Add not commutative: %+v vs %+v", got, sum)
+	}
+}
+
+func TestOpLatencyConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 1000
+	)
+	var l OpLatency
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Observe(time.Duration(i)*time.Microsecond, i%10 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := l.Snapshot()
+	if s.Ops != goroutines*perG {
+		t.Errorf("ops = %d, want %d", s.Ops, goroutines*perG)
+	}
+	if s.Errors != goroutines*perG/10 {
+		t.Errorf("errors = %d, want %d", s.Errors, goroutines*perG/10)
+	}
+	wantTotal := int64(goroutines) * int64(perG) * int64(perG-1) / 2 * 1000
+	if s.TotalNanos != wantTotal {
+		t.Errorf("total = %d, want %d", s.TotalNanos, wantTotal)
+	}
+	if s.MaxNanos != int64((perG-1)*1000) {
+		t.Errorf("max = %d, want %d", s.MaxNanos, (perG-1)*1000)
+	}
+}
