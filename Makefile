@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz fmt vet clean
+.PHONY: all build test race cover bench bench-smoke experiments fuzz fmt vet clean
 
-# Tier-1 flow: compile, static checks, unit tests, then the race detector
-# over every package (the concurrent store/appliance paths must stay
-# race-clean).
-all: build vet test race
+# Tier-1 flow: compile, static checks, unit tests, the race detector over
+# every package (the concurrent store/appliance paths must stay
+# race-clean), then a smoke pass over the concurrency benchmarks.
+all: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ cover:
 # One benchmark per paper table/figure plus hot-path micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Fast sanity pass over the concurrency benchmarks: proves the store still
+# serves hits during rotations and scales across clients, without the full
+# bench run's cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentStore|BenchmarkRotationWhileServing' -benchtime 100ms .
 
 # Full evaluation at the default reproduction scale (minutes).
 experiments:

@@ -450,10 +450,28 @@ func (c *Client) roundTrip(h header, writePayload []byte) error {
 	return &RemoteError{Msg: string(msg)}
 }
 
+// ErrIDRange reports a server or volume id that does not fit the wire
+// format's uint16 fields. Without this check the cast below would wrap —
+// server 65536 would silently address server 0's blocks.
+var ErrIDRange = errors.New("appliance: server/volume id out of range")
+
+// checkIDs validates ids client-side before they are narrowed to uint16.
+// The appliance additionally enforces its own (tighter) block.MaxServers/
+// MaxVolumes limits server-side.
+func checkIDs(server, volume int) error {
+	if server < 0 || server > 0xFFFF || volume < 0 || volume > 0xFFFF {
+		return fmt.Errorf("%w: server=%d volume=%d", ErrIDRange, server, volume)
+	}
+	return nil
+}
+
 // ReadAt reads len(p) bytes from the remote volume at off.
 func (c *Client) ReadAt(server, volume int, p []byte, off uint64) error {
 	if len(p) > MaxIOBytes {
 		return fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, len(p))
+	}
+	if err := checkIDs(server, volume); err != nil {
+		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -471,6 +489,9 @@ func (c *Client) ReadAt(server, volume int, p []byte, off uint64) error {
 func (c *Client) WriteAt(server, volume int, p []byte, off uint64) error {
 	if len(p) > MaxIOBytes {
 		return fmt.Errorf("%w: write of %d bytes exceeds limit", ErrProtocol, len(p))
+	}
+	if err := checkIDs(server, volume); err != nil {
+		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -490,6 +511,9 @@ func (c *Client) RotateEpoch() error {
 // returning how many were resident. Use after modifying the backing
 // ensemble outside the appliance.
 func (c *Client) Invalidate(server, volume int, off uint64, length int) (int, error) {
+	if err := checkIDs(server, volume); err != nil {
+		return 0, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	h := header{op: OpInvalidate, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(length)}

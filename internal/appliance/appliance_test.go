@@ -263,3 +263,32 @@ func BenchmarkRoundTrip4K(b *testing.B) {
 		}
 	}
 }
+
+// TestClientIDRangeValidation: the wire header carries server/volume as
+// uint16, so the client must reject out-of-range IDs up front with a typed
+// error instead of silently truncating them onto some other volume.
+func TestClientIDRangeValidation(t *testing.T) {
+	client, _, _ := startServer(t)
+	buf := make([]byte, 512)
+	for _, ids := range [][2]int{{1 << 16, 0}, {0, 1 << 16}, {-1, 0}, {0, -1}} {
+		if err := client.ReadAt(ids[0], ids[1], buf, 0); !errors.Is(err, ErrIDRange) {
+			t.Errorf("ReadAt(%d,%d) = %v, want ErrIDRange", ids[0], ids[1], err)
+		}
+		if err := client.WriteAt(ids[0], ids[1], buf, 0); !errors.Is(err, ErrIDRange) {
+			t.Errorf("WriteAt(%d,%d) = %v, want ErrIDRange", ids[0], ids[1], err)
+		}
+		if _, err := client.Invalidate(ids[0], ids[1], 0, 512); !errors.Is(err, ErrIDRange) {
+			t.Errorf("Invalidate(%d,%d) = %v, want ErrIDRange", ids[0], ids[1], err)
+		}
+	}
+	// The boundary IDs are legal and the connection is still healthy. The
+	// demo ensemble has no volume 65535, so a RemoteError (not ErrIDRange,
+	// not a broken connection) is the expected outcome.
+	var remote *RemoteError
+	if err := client.ReadAt(0xFFFF, 0xFFFF, buf, 0); !errors.As(err, &remote) {
+		t.Errorf("boundary IDs: %v, want RemoteError from the server", err)
+	}
+	if err := client.WriteAt(0, 0, buf, 0); err != nil {
+		t.Fatalf("connection unusable after rejected requests: %v", err)
+	}
+}

@@ -131,6 +131,8 @@ func (sc *StripedClient) Stats() (core.Stats, error) {
 		total.CacheBytesServed += s.CacheBytesServed
 		total.BackendBytesServedRead += s.BackendBytesServedRead
 		total.CoalescedReads += s.CoalescedReads
+		total.RotateFailures += s.RotateFailures
+		total.FlushErrors += s.FlushErrors
 		total.ReadLatency = total.ReadLatency.Add(s.ReadLatency)
 		total.WriteLatency = total.WriteLatency.Add(s.WriteLatency)
 	}

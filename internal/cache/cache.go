@@ -126,13 +126,15 @@ func (c *Cache) Keys() []block.Key {
 	return out
 }
 
-// ReplaceAll installs exactly the given block set, in MRU order of the
-// slice, evicting everything else — SieveStore-D's end-of-epoch batch
-// allocation. It returns the number of blocks that actually had to move in
-// (were not already resident): the paper's observation that replacement and
-// allocation "cancel" for blocks retained across epochs (§3.2). Keys beyond
-// capacity are ignored.
-func (c *Cache) ReplaceAll(keys []block.Key) (moved int) {
+// Swap installs exactly the given block set, in MRU order of the slice,
+// evicting everything else — SieveStore-D's end-of-epoch batch allocation.
+// It returns the number of blocks that actually had to move in (were not
+// already resident) — the paper's observation that replacement and
+// allocation "cancel" for blocks retained across epochs (§3.2) — plus the
+// keys that were evicted, so callers tracking per-block state (frames,
+// dirty bits) can reclaim theirs in the same pass. Keys beyond capacity
+// are ignored.
+func (c *Cache) Swap(keys []block.Key) (moved int, evicted []block.Key) {
 	if len(keys) > c.capacity {
 		keys = keys[:c.capacity]
 	}
@@ -144,6 +146,7 @@ func (c *Cache) ReplaceAll(keys []block.Key) (moved int) {
 	for n := c.head.next; n != &c.tail; {
 		next := n.next
 		if !incoming[n.key] {
+			evicted = append(evicted, n.key)
 			c.unlink(n)
 			delete(c.table, n.key)
 			n.next = c.free
@@ -158,6 +161,12 @@ func (c *Cache) ReplaceAll(keys []block.Key) (moved int) {
 		}
 		c.Insert(keys[i])
 	}
+	return moved, evicted
+}
+
+// ReplaceAll is Swap for callers that do not need the evicted keys.
+func (c *Cache) ReplaceAll(keys []block.Key) (moved int) {
+	moved, _ = c.Swap(keys)
 	return moved
 }
 

@@ -49,6 +49,18 @@ func (g *gateBackend) ReadAt(server, volume int, p []byte, off uint64) error {
 	return g.Backend.ReadAt(server, volume, p, off)
 }
 
+// drain discards entered tokens left over from already-released reads, so
+// the next token observed really is the next backend read.
+func (g *gateBackend) drain() {
+	for {
+		select {
+		case <-g.entered:
+		default:
+			return
+		}
+	}
+}
+
 func (g *gateBackend) fetchCount(off uint64) int {
 	g.mu.Lock()
 	defer g.mu.Unlock()

@@ -31,42 +31,56 @@ var snapMagic = [4]byte{'S', 'V', 'S', '1'}
 var ErrBadSnapshot = errors.New("core: bad snapshot")
 
 // SaveSnapshot writes the cache contents (tags and data, MRU→LRU) to w.
-// The store remains usable; the snapshot is a consistent point-in-time
-// image taken under the store lock.
+// The store remains usable: the image is staged under the lock at memory
+// speed (dirty blocks drained, tags and frames copied) and then streamed
+// to w with no lock held, so a slow writer never stalls I/O. The image is
+// a consistent point-in-time view as of the copy.
 func (s *Store) SaveSnapshot(w io.Writer) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	// Write-back mode: flush first so the backend and the snapshot are a
-	// consistent pair (a restore must be able to trust either copy).
-	if err := s.flushLocked(); err != nil {
+	// consistent pair (a restore must be able to trust either copy). The
+	// drain ends under the lock with nothing dirty, and the copy below
+	// happens before the lock is released, so the invariant holds for the
+	// copied image even with writers running.
+	if err := s.drainDirtyLocked(); err != nil {
+		s.mu.Unlock()
 		return err
 	}
+	keys := s.tags.Keys() // MRU → LRU
+	data := make([]byte, len(keys)*block.Size)
+	for i, k := range keys {
+		copy(data[i*block.Size:], s.frames[k])
+	}
+	capacity := s.tags.Capacity()
+	variant := s.opts.Variant
+	s.mu.Unlock()
+
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(snapMagic[:]); err != nil {
 		return err
 	}
-	if err := bw.WriteByte(byte(s.opts.Variant)); err != nil {
+	if err := bw.WriteByte(byte(variant)); err != nil {
 		return err
 	}
 	var u64 [8]byte
-	binary.BigEndian.PutUint64(u64[:], uint64(s.tags.Capacity()))
+	binary.BigEndian.PutUint64(u64[:], uint64(capacity))
 	if _, err := bw.Write(u64[:]); err != nil {
 		return err
 	}
-	keys := s.tags.Keys() // MRU → LRU
 	binary.BigEndian.PutUint64(u64[:], uint64(len(keys)))
 	if _, err := bw.Write(u64[:]); err != nil {
 		return err
 	}
-	for _, k := range keys {
+	for i, k := range keys {
 		binary.BigEndian.PutUint64(u64[:], uint64(k))
 		if _, err := bw.Write(u64[:]); err != nil {
 			return err
 		}
-		if _, err := bw.Write(s.frames[k]); err != nil {
+		if _, err := bw.Write(data[i*block.Size : (i+1)*block.Size]); err != nil {
 			return err
 		}
 	}
@@ -79,11 +93,16 @@ func (s *Store) SaveSnapshot(w io.Writer) error {
 // ensemble may have changed while the cache was down, Invalidate the
 // affected ranges (or skip loading).
 func (s *Store) LoadSnapshot(r io.Reader) error {
+	// Fail fast on a closed store (checked again before the install).
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
+	s.mu.Unlock()
+	// Parse the whole stream first, with no lock held: a slow or huge
+	// snapshot reader must not stall concurrent I/O. (Capacity is fixed at
+	// Open, so reading it without the lock is safe.)
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -105,25 +124,9 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 	}
 	count := binary.BigEndian.Uint64(u64[:])
 
-	// The snapshot replaces the cache contents wholesale and its data is
-	// trusted over the backend's; in-flight fetches must not install.
-	s.staleAllFlightsLocked()
-	// Drop current contents. Dirty blocks are flushed rather than lost.
-	for _, k := range s.tags.Keys() {
-		if s.dirty[k] {
-			if err := s.flushBlock(k); err != nil {
-				return err
-			}
-		}
-		s.tags.Remove(k)
-		s.free = append(s.free, s.frames[k])
-		delete(s.frames, k)
-	}
-	// Entries arrive MRU-first; cap at capacity, then install in reverse
-	// so the hottest block ends most-recently-used.
-	capacity := uint64(s.tags.Capacity())
+	// Entries arrive MRU-first; cap at capacity (the tail is the cold end).
 	keep := count
-	if keep > capacity {
+	if capacity := uint64(s.tags.Capacity()); keep > capacity {
 		keep = capacity
 	}
 	type entry struct {
@@ -144,9 +147,34 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 			entries = append(entries, entry{key: k, data: append([]byte(nil), buf...)})
 		}
 	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	// Dirty blocks are flushed (staged, off-lock) rather than lost; a
+	// flush failure aborts the load with the cache untouched.
+	if err := s.drainDirtyLocked(); err != nil {
+		return err
+	}
+	// The snapshot replaces the cache contents wholesale and its data is
+	// trusted over the backend's; in-flight fetches must not install.
+	// Write reservations stay attached — a write completing after the load
+	// folds its newer data into the restored frames.
+	s.staleFetchFlightsLocked()
+	for _, k := range s.tags.Keys() {
+		s.tags.Remove(k)
+		s.free = append(s.free, s.frames[k])
+		delete(s.frames, k)
+	}
+	// Install in reverse so the hottest block ends most-recently-used.
 	for i := len(entries) - 1; i >= 0; i-- {
-		if err := s.install(entries[i].key, entries[i].data); err != nil {
-			return err
+		s.install(entries[i].key, entries[i].data)
+		if s.rotating {
+			// An epoch transition staging concurrently must not overwrite
+			// restored (trusted) frames with its pre-load batch fetch.
+			s.rotSkip[entries[i].key] = true
 		}
 	}
 	return nil

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -138,6 +139,8 @@ type Stats struct {
 	CacheBytesServed       int64 // bytes of reads served from cache
 	BackendBytesServedRead int64
 	CoalescedReads         int64 // miss blocks served by joining another caller's in-flight fetch
+	RotateFailures         int64 // epoch rotations aborted by a backend or log error (VariantD)
+	FlushErrors            int64 // dirty write-backs that failed (the blocks stay dirty and resident)
 
 	// ReadLatency/WriteLatency aggregate whole-call ReadAt/WriteAt service
 	// times when Options.TrackLatency is set (zero otherwise).
@@ -187,6 +190,14 @@ type Store struct {
 	// epoch state (VariantD)
 	start    time.Time
 	curEpoch int64
+	// rotating is true while a staged epoch transition is in progress (mu
+	// is released across its backend I/O); rotCond is broadcast when it
+	// clears. rotSkip collects keys written or invalidated during the
+	// transition: the swap must not install its (older) fetched copy of
+	// them.
+	rotating bool
+	rotCond  *sync.Cond
+	rotSkip  map[block.Key]bool
 	ownSpill string // temp dir to remove on Close, if any
 	stats    Stats
 	closed   bool
@@ -211,6 +222,11 @@ type flight struct {
 	// the cache. The entry is detached from the table when marked, so new
 	// misses start a fresh fetch.
 	stale bool
+	// isWrite distinguishes write reservations (and staged write-backs)
+	// from miss fetches. Bulk replacements (epoch swap, snapshot load)
+	// stale only fetches: a fetch holds pre-replacement data, but a write
+	// completing afterwards carries *newer* data and must still fold it in.
+	isWrite bool
 }
 
 // Open validates opts and returns a ready Store over backend.
@@ -231,6 +247,7 @@ func Open(backend Backend, opts Options) (*Store, error) {
 		inflight: make(map[block.Key]*flight),
 		start:    o.Now(),
 	}
+	s.rotCond = sync.NewCond(&s.mu)
 	s.stats.CapacityBlocks = o.CacheBytes / block.Size
 	switch o.Variant {
 	case VariantC:
@@ -248,7 +265,15 @@ func Open(backend Backend, opts Options) (*Store, error) {
 			}
 			s.ownSpill = dir
 		}
-		logger, err := sieved.NewLogger(dir, sieved.DefaultPartitions)
+		var logger *sieved.Logger
+		if o.SpillDir != "" {
+			// A caller-supplied spill dir is durable state: resume (and
+			// salvage) the epoch in progress instead of truncating it — a
+			// daemon restart must not discard the day's access counts.
+			logger, err = sieved.OpenLogger(dir, sieved.DefaultPartitions)
+		} else {
+			logger, err = sieved.NewLogger(dir, sieved.DefaultPartitions)
+		}
 		if err != nil {
 			if s.ownSpill != "" {
 				os.RemoveAll(s.ownSpill)
@@ -280,16 +305,27 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Close releases the store's resources. The backend is untouched (all
-// writes are written through, so no flush is needed).
+// Close releases the store's resources. In write-back mode the dirty
+// blocks are written back first (staged, without holding the lock across
+// the backend I/O); write-through stores have nothing to flush.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
-	err := s.flushLocked()
+	// Wait out an epoch transition in progress: it expects the logger and
+	// spill directory to outlive it.
+	for s.rotating {
+		s.rotCond.Wait()
+	}
+	if s.closed {
+		return nil
+	}
+	// Mark closed first so no new I/O can dirty blocks behind the staged
+	// flush (which releases the lock while streaming).
 	s.closed = true
+	err := s.drainDirtyLocked()
 	if s.logger != nil {
 		if lerr := s.logger.Close(); err == nil {
 			err = lerr
@@ -345,6 +381,10 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 		return ErrClosed
 	}
 	s.rotateIfDue()
+	if s.closed { // rotateIfDue may release the lock; Close may have run
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	now := s.now()
 	s.logAccess(server, volume, first, nBlocks)
 	s.stats.Reads += int64(nBlocks)
@@ -400,9 +440,7 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 		if j < okUpto {
 			data := p[m.idx*block.Size : (m.idx+1)*block.Size]
 			if !m.f.stale && !s.closed {
-				if aerr := s.maybeAdmit(m.key, data, block.Read, now, false); aerr != nil && fetchErr == nil {
-					fetchErr = aerr
-				}
+				s.maybeAdmit(m.key, data, block.Read, now, false)
 			}
 			if m.f.waiters > 0 {
 				m.f.data = append([]byte(nil), data...)
@@ -424,7 +462,7 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 	// completed above, so blocking here cannot deadlock.
 	for _, m := range joined {
 		dst := p[m.idx*block.Size : (m.idx+1)*block.Size]
-		if err := s.awaitFlight(m.f, m.key, dst, now); err != nil {
+		if err := s.awaitFlight(m.f, m.key, dst); err != nil {
 			return err
 		}
 	}
@@ -434,7 +472,7 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 // awaitFlight waits for another caller's in-flight fetch of key and copies
 // the result into dst. If that flight failed, the block is re-fetched
 // directly (joining yet another flight if one has appeared meanwhile).
-func (s *Store) awaitFlight(f *flight, key block.Key, dst []byte, now time.Time) error {
+func (s *Store) awaitFlight(f *flight, key block.Key, dst []byte) error {
 	for {
 		<-f.done
 		if f.err == nil {
@@ -471,9 +509,11 @@ func (s *Store) awaitFlight(f *flight, key block.Key, dst []byte, now time.Time)
 			s.stats.BackendBytesRead += block.Size
 			s.stats.BackendBytesServedRead += block.Size
 			if !nf.stale && !s.closed {
-				if aerr := s.maybeAdmit(key, dst, block.Read, now, false); aerr != nil {
-					err = aerr
-				}
+				// Use the post-fetch clock, not the caller's pre-block one:
+				// this path may have waited on several flights, and a stale
+				// timestamp would admit through a sieve window that has in
+				// fact already expired.
+				s.maybeAdmit(key, dst, block.Read, s.now(), false)
 			}
 			if nf.waiters > 0 {
 				nf.data = append([]byte(nil), dst...)
@@ -515,6 +555,10 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 		return ErrClosed
 	}
 	s.rotateIfDue()
+	if s.closed { // rotateIfDue may release the lock; Close may have run
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	now := s.now()
 	s.logAccess(server, volume, first, nBlocks)
 	s.stats.Writes += int64(nBlocks)
@@ -530,7 +574,6 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 		s.mu.Unlock()
 		werr := s.backend.WriteAt(server, volume, p, off)
 		s.mu.Lock()
-		var aerr error
 		if werr == nil {
 			s.stats.BackendWrites++
 			s.stats.BackendBytesWritten += int64(len(p))
@@ -545,17 +588,12 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 					s.stats.WriteHits++
 					continue
 				}
-				if aerr == nil {
-					aerr = s.maybeAdmit(key, data, block.Write, now, false)
-				}
+				s.maybeAdmit(key, data, block.Write, now, false)
 			}
 		}
 		s.completeRangeLocked(server, volume, first, flights, p, werr)
 		s.mu.Unlock()
-		if werr != nil {
-			return werr
-		}
-		return aerr
+		return werr
 	}
 
 	// Write-back: cached (and newly admitted) blocks absorb the write and
@@ -571,13 +609,7 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 			s.stats.WriteHits++
 			continue
 		}
-		admitted, aerr := s.tryAdmit(key, data, block.Write, now, true)
-		if aerr != nil {
-			s.completeRangeLocked(server, volume, first, flights, nil, aerr)
-			s.mu.Unlock()
-			return aerr
-		}
-		if admitted {
+		if s.tryAdmit(key, data, block.Write, now, true) {
 			continue
 		}
 		if n := len(through); n > 0 && through[n-1].start+through[n-1].n == i {
@@ -633,7 +665,7 @@ func (s *Store) reserveRangeLocked(server, volume int, first uint64, n int) ([]*
 	}
 	flights := make([]*flight, n)
 	for i := range flights {
-		f := &flight{done: make(chan struct{})}
+		f := &flight{done: make(chan struct{}), isWrite: true}
 		s.inflight[block.MakeKey(server, volume, first+uint64(i))] = f
 		flights[i] = f
 	}
@@ -645,12 +677,20 @@ func (s *Store) reserveRangeLocked(server, volume int, first uint64, n int) ([]*
 // operation failed before producing data); err is propagated to waiters.
 func (s *Store) completeRangeLocked(server, volume int, first uint64, flights []*flight, p []byte, err error) {
 	for i, f := range flights {
+		key := block.MakeKey(server, volume, first+uint64(i))
 		if err != nil {
 			f.err = err
-		} else if f.waiters > 0 && p != nil {
-			f.data = append([]byte(nil), p[i*block.Size:(i+1)*block.Size]...)
+		} else {
+			if f.waiters > 0 && p != nil {
+				f.data = append([]byte(nil), p[i*block.Size:(i+1)*block.Size]...)
+			}
+			// A write landing while an epoch transition is staging has
+			// newer data than the transition's batch fetch: tell the swap
+			// not to install its copy of this block.
+			if s.rotating {
+				s.rotSkip[key] = true
+			}
 		}
-		key := block.MakeKey(server, volume, first+uint64(i))
 		if s.inflight[key] == f {
 			delete(s.inflight, key)
 		}
@@ -658,27 +698,285 @@ func (s *Store) completeRangeLocked(server, volume int, first uint64, flights []
 	}
 }
 
-// staleAllFlightsLocked detaches every in-flight entry and marks it stale.
-// Called by bulk cache replacements (epoch rotation, snapshot load) so
-// that operations completing afterwards cannot install outdated frames.
-func (s *Store) staleAllFlightsLocked() {
+// staleFetchFlightsLocked detaches every in-flight *fetch* and marks it
+// stale. Called by bulk cache replacements (epoch swap, snapshot load) so
+// that fetches completing afterwards cannot install pre-replacement
+// frames. Write reservations stay attached: a write completing after the
+// replacement carries newer data than anything fetched or snapshotted and
+// must still fold it into the cache.
+func (s *Store) staleFetchFlightsLocked() {
 	for key, f := range s.inflight {
+		if f.isWrite {
+			continue
+		}
 		f.stale = true
 		delete(s.inflight, key)
 	}
 }
 
-// Flush writes every dirty block back to the ensemble (write-back mode).
+// Flush writes every currently-dirty block back to the ensemble
+// (write-back mode). The backend I/O is staged: the lock is not held while
+// streaming, so concurrent reads and writes proceed. Blocks whose
+// write-back fails stay dirty and resident and are counted in
+// Stats.FlushErrors; the first error is returned.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	return s.flushLocked()
+	return s.flushStagedLocked(nil)
 }
 
-func (s *Store) flushLocked() error {
+// Bounded parallelism and run sizing for staged transitions (epoch batch
+// fetches, staged flushes): backend requests cover contiguous multi-block
+// runs of at most transitionMaxRun blocks, issued by at most
+// transitionWorkers goroutines.
+const (
+	transitionWorkers = 8
+	transitionMaxRun  = 64 // blocks per backend request (32 KiB)
+)
+
+// keyRun is a half-open index range [lo, hi) of consecutive blocks.
+type keyRun struct{ lo, hi int }
+
+// contiguousRuns splits sorted keys into runs of consecutive blocks on the
+// same server and volume, each at most transitionMaxRun long. include, if
+// non-nil, masks individual indices out of the runs.
+func contiguousRuns(keys []block.Key, include func(int) bool) []keyRun {
+	var runs []keyRun
+	for i := 0; i < len(keys); {
+		if include != nil && !include(i) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(keys) && j-i < transitionMaxRun &&
+			keys[j] == keys[j-1]+1 &&
+			keys[j].Server() == keys[j-1].Server() &&
+			keys[j].Volume() == keys[j-1].Volume() &&
+			(include == nil || include(j)) {
+			j++
+		}
+		runs = append(runs, keyRun{lo: i, hi: j})
+		i = j
+	}
+	return runs
+}
+
+// forEachRun invokes do(ri, run) with bounded parallelism. After the first
+// error no new runs are started; the first error is returned. do must
+// confine its writes to per-run state (indexed by ri) — forEachRun
+// provides the happens-before edge back to the caller.
+func forEachRun(runs []keyRun, do func(ri int, r keyRun) error) error {
+	workers := transitionWorkers
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	if workers <= 1 {
+		for ri, r := range runs {
+			if err := do(ri, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu    sync.Mutex
+		next  int
+		first error
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if first != nil || next >= len(runs) {
+					mu.Unlock()
+					return
+				}
+				ri := next
+				next++
+				mu.Unlock()
+				if err := do(ri, runs[ri]); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// fetchBatch reads the given blocks from the ensemble in contiguous
+// multi-block runs with bounded parallelism. It is called WITHOUT the
+// store lock and touches no store state besides the backend; the returned
+// frames are freshly allocated, one per key. Partial work on error is
+// reflected in the request/byte counts so the caller can account it.
+func (s *Store) fetchBatch(keys []block.Key) (map[block.Key][]byte, int64, int64, error) {
+	if len(keys) == 0 {
+		return nil, 0, 0, nil
+	}
+	sorted := append([]block.Key(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	runs := contiguousRuns(sorted, nil)
+	bufs := make([][]byte, len(sorted))
+	ran := make([]bool, len(runs))
+	err := forEachRun(runs, func(ri int, r keyRun) error {
+		n := r.hi - r.lo
+		buf := make([]byte, n*block.Size)
+		k0 := sorted[r.lo]
+		if e := s.backend.ReadAt(k0.Server(), k0.Volume(), buf, k0.Offset()); e != nil {
+			return fmt.Errorf("core: epoch move for %v: %w", k0, e)
+		}
+		for i := 0; i < n; i++ {
+			bufs[r.lo+i] = buf[i*block.Size : (i+1)*block.Size : (i+1)*block.Size]
+		}
+		ran[ri] = true
+		return nil
+	})
+	var nReads, nBytes int64
+	for ri, r := range runs {
+		if ran[ri] {
+			nReads++
+			nBytes += int64(r.hi-r.lo) * block.Size
+		}
+	}
+	if err != nil {
+		return nil, nReads, nBytes, err
+	}
+	fetched := make(map[block.Key][]byte, len(sorted))
+	for i, k := range sorted {
+		fetched[k] = bufs[i]
+	}
+	return fetched, nReads, nBytes, nil
+}
+
+// flushStagedLocked writes dirty blocks back to the ensemble without
+// holding mu across the backend I/O. only, if non-nil, filters which dirty
+// blocks are flushed. Caller must hold mu; the lock is released and
+// re-acquired. Each victim is reserved as a write flight first (so
+// concurrent writes to it wait and reads coalesce onto the cached data),
+// its frame is copied, and the copies are streamed in contiguous runs with
+// bounded parallelism. Blocks whose write failed stay dirty and are
+// counted in Stats.FlushErrors; the first error is returned.
+//
+// Reservation proceeds in ascending key order while holding earlier
+// reservations. Any two staged flushes therefore acquire in the same
+// global order and cannot deadlock against each other; every other flight
+// owner (read misses, write reservations) completes without waiting on
+// further flights, so waiting here with reservations held is safe.
+func (s *Store) flushStagedLocked(only func(block.Key) bool) error {
+	var victims []block.Key
+	for k := range s.dirty {
+		if only == nil || only(k) {
+			victims = append(victims, k)
+		}
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+
+	flights := make([]*flight, len(victims))
+	frames := make([][]byte, len(victims))
+	for i := 0; i < len(victims); {
+		k := victims[i]
+		if f, ok := s.inflight[k]; ok {
+			s.mu.Unlock()
+			<-f.done
+			s.mu.Lock()
+			continue // re-check this key
+		}
+		if !s.dirty[k] || s.frames[k] == nil {
+			i++ // flushed or dropped while we waited
+			continue
+		}
+		f := &flight{done: make(chan struct{}), isWrite: true}
+		s.inflight[k] = f
+		flights[i] = f
+		// Copy the frame: Invalidate can flush+recycle it while we stream.
+		frames[i] = append([]byte(nil), s.frames[k]...)
+		i++
+	}
+
+	runs := contiguousRuns(victims, func(i int) bool { return flights[i] != nil })
+	runErr := make([]error, len(runs))
+	ran := make([]bool, len(runs))
+
+	s.mu.Unlock()
+	err := forEachRun(runs, func(ri int, r keyRun) error {
+		ran[ri] = true
+		n := r.hi - r.lo
+		buf := frames[r.lo]
+		if n > 1 {
+			buf = make([]byte, n*block.Size)
+			for i := 0; i < n; i++ {
+				copy(buf[i*block.Size:], frames[r.lo+i])
+			}
+		}
+		k0 := victims[r.lo]
+		if e := s.backend.WriteAt(k0.Server(), k0.Volume(), buf, k0.Offset()); e != nil {
+			runErr[ri] = fmt.Errorf("core: write-back of %v: %w", k0, e)
+			return runErr[ri]
+		}
+		return nil
+	})
+	s.mu.Lock()
+
+	for ri, r := range runs {
+		if !ran[ri] {
+			continue
+		}
+		if runErr[ri] == nil {
+			s.stats.BackendWrites++
+			s.stats.BackendBytesWritten += int64(r.hi-r.lo) * block.Size
+		}
+		for i := r.lo; i < r.hi; i++ {
+			if runErr[ri] == nil {
+				if s.dirty[victims[i]] {
+					delete(s.dirty, victims[i])
+					s.stats.FlushWrites++
+				}
+			} else {
+				s.stats.FlushErrors++
+			}
+		}
+	}
+	for i, k := range victims {
+		f := flights[i]
+		if f == nil {
+			continue
+		}
+		if f.waiters > 0 {
+			// The cache's copy is current regardless of the write-back
+			// outcome: serve coalesced readers from it, never an error.
+			f.data = frames[i]
+		}
+		if s.inflight[k] == f {
+			delete(s.inflight, k)
+		}
+		close(f.done)
+	}
+	return err
+}
+
+// drainDirtyLocked flushes until no dirty blocks remain: a few staged
+// passes (writes may re-dirty blocks while the lock is down), then a final
+// serial pass under the lock — which cannot be raced — for any stragglers.
+func (s *Store) drainDirtyLocked() error {
+	for pass := 0; pass < 4 && len(s.dirty) > 0; pass++ {
+		if err := s.flushStagedLocked(nil); err != nil {
+			return err
+		}
+	}
 	for key := range s.dirty {
 		if err := s.flushBlock(key); err != nil {
 			return err
@@ -721,37 +1019,42 @@ func (s *Store) logAccess(server, volume int, first uint64, nBlocks int) {
 
 // maybeAdmit consults the sieve (VariantC) and installs the block on
 // approval. VariantD never admits continuously.
-func (s *Store) maybeAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) error {
-	_, err := s.tryAdmit(key, data, kind, now, dirty)
-	return err
+func (s *Store) maybeAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) {
+	s.tryAdmit(key, data, kind, now, dirty)
 }
 
 // tryAdmit is maybeAdmit reporting whether the block was admitted.
-func (s *Store) tryAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) (bool, error) {
+func (s *Store) tryAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) bool {
 	if s.sieveC == nil {
-		return false, nil
+		return false
 	}
 	acc := block.Access{Time: now.Sub(s.start).Nanoseconds(), Key: key, Kind: kind}
 	if !s.sieveC.ShouldAllocate(acc) {
-		return false, nil
+		return false
 	}
-	if err := s.install(key, data); err != nil {
-		return false, err
+	if !s.install(key, data) {
+		return false
 	}
 	if dirty {
 		s.dirty[key] = true
 	}
 	s.stats.AllocWrites++
-	return true, nil
+	return true
 }
 
 // install copies data into a frame for key, evicting (and, in write-back
-// mode, flushing) the LRU block if full.
-func (s *Store) install(key block.Key, data []byte) error {
+// mode, flushing) the LRU block if full. It reports whether the block was
+// installed: when the dirty victim's write-back fails, the victim stays
+// resident and dirty (its frame holds the only current copy), the failure
+// is counted in Stats.FlushErrors, and the new block is simply not
+// allocated — the caller's own I/O already succeeded and must not be
+// failed by an unrelated block's flush.
+func (s *Store) install(key block.Key, data []byte) bool {
 	if s.tags.Len() >= s.tags.Capacity() && !s.tags.Contains(key) {
 		if victim, ok := s.tags.LRU(); ok && s.dirty[victim] {
 			if err := s.flushBlock(victim); err != nil {
-				return err
+				s.stats.FlushErrors++
+				return false
 			}
 		}
 	}
@@ -763,7 +1066,7 @@ func (s *Store) install(key block.Key, data []byte) error {
 	frame := s.alloc()
 	copy(frame, data)
 	s.frames[key] = frame
-	return nil
+	return true
 }
 
 func (s *Store) alloc() []byte {
@@ -775,17 +1078,29 @@ func (s *Store) alloc() []byte {
 	return make([]byte, block.Size)
 }
 
-// rotateIfDue rotates VariantD epochs that have elapsed.
+// rotateIfDue rotates VariantD epochs that have elapsed. The rotation runs
+// inline in the triggering caller but releases the lock across its backend
+// I/O; callers arriving meanwhile see s.rotating and proceed without
+// blocking (the in-progress rotation covers the due boundary).
 func (s *Store) rotateIfDue() {
-	if s.logger == nil {
+	if s.logger == nil || s.rotating {
 		return
 	}
-	epoch := int64(s.now().Sub(s.start) / s.opts.Epoch)
-	for s.curEpoch < epoch {
+	for {
+		epoch := int64(s.now().Sub(s.start) / s.opts.Epoch)
+		if s.curEpoch >= epoch {
+			return
+		}
 		s.curEpoch++
-		if err := s.rotateLocked(); err != nil {
-			// Epoch rotation failure leaves the previous epoch's set in
-			// place; counting resumes with the next epoch.
+		if err := s.rotateStaged(); err != nil {
+			// The failed transition touched nothing: the spill logs and
+			// the previous epoch's cache set are intact, and the next
+			// boundary (or a manual RotateEpoch) retries with the counts
+			// still accumulating.
+			s.stats.RotateFailures++
+			return
+		}
+		if s.closed {
 			return
 		}
 	}
@@ -808,7 +1123,16 @@ func (s *Store) RotateEpoch() error {
 	if s.logger == nil {
 		return nil
 	}
-	if err := s.rotateLocked(); err != nil {
+	// Wait out a transition already in progress, then run our own: the
+	// caller asked for a boundary *now*, after whatever was already due.
+	for s.rotating {
+		s.rotCond.Wait()
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.rotateStaged(); err != nil {
+		s.stats.RotateFailures++
 		return err
 	}
 	// Restart the schedule: the next automatic rotation is one full Epoch
@@ -818,50 +1142,129 @@ func (s *Store) RotateEpoch() error {
 	return nil
 }
 
-func (s *Store) rotateLocked() error {
-	selected, err := s.logger.EndEpoch(s.opts.DThreshold)
+// rotateStaged performs one SieveStore-D epoch transition. Called with mu
+// held; returns with mu held. The transition is staged so the lock is
+// never held across backend I/O — concurrent reads and writes keep being
+// served throughout — and failure-atomic: any error before the final swap
+// leaves both the spill logs and the cache contents exactly as they were
+// (Select does not reset the logs; Reset runs only after the swap
+// commits).
+func (s *Store) rotateStaged() error {
+	s.rotating = true
+	s.rotSkip = make(map[block.Key]bool)
+	defer func() {
+		s.rotating = false
+		s.rotSkip = nil
+		s.rotCond.Broadcast()
+	}()
+
+	// Stage 1: reduce the logs and select the new set — off-lock.
+	s.mu.Unlock()
+	selected, err := s.logger.Select(s.opts.DThreshold)
+	s.mu.Lock()
 	if err != nil {
 		return err
 	}
-	// The epoch boundary replaces the cache contents wholesale; anything
-	// still in flight must not install into the new epoch's set.
-	s.staleAllFlightsLocked()
-	if cap := s.tags.Capacity(); len(selected) > cap {
-		selected = selected[:cap]
+	if s.closed {
+		return ErrClosed
 	}
-	s.stats.Epochs++
-	// Evict everything not in the new set, then move in the new blocks.
+	if cap := s.tags.Capacity(); len(selected) > cap {
+		selected = selected[:cap] // Select orders hottest-first
+	}
+
+	// Stage 2: fetch the selected blocks that are not already resident —
+	// off-lock, in contiguous multi-block runs with bounded parallelism.
+	// (Residency only shrinks while rotating: VariantD admits solely at
+	// epoch boundaries, so "need" cannot grow stale the dangerous way.)
+	var need []block.Key
+	for _, k := range selected {
+		if !s.tags.Contains(k) {
+			need = append(need, k)
+		}
+	}
+	s.mu.Unlock()
+	fetched, nReads, nBytes, err := s.fetchBatch(need)
+	s.mu.Lock()
+	s.stats.BackendReads += nReads
+	s.stats.BackendBytesRead += nBytes
+	if err != nil {
+		return err
+	}
+	if s.closed {
+		return ErrClosed
+	}
+
+	// Stage 3: write back dirty blocks the swap would evict — staged like
+	// Flush, and aborting the rotation on failure (evicting them unflushed
+	// would lose data; flushing under the lock is what we are removing).
 	inNew := make(map[block.Key]bool, len(selected))
 	for _, k := range selected {
 		inNew[k] = true
 	}
-	for _, k := range s.tags.Keys() {
-		if !inNew[k] {
-			if s.dirty[k] {
-				if err := s.flushBlock(k); err != nil {
-					return err
-				}
-			}
-			s.tags.Remove(k)
-			s.free = append(s.free, s.frames[k])
-			delete(s.frames, k)
-			s.stats.Evictions++
+	if err := s.flushStagedLocked(func(k block.Key) bool { return !inNew[k] }); err != nil {
+		return err
+	}
+	if s.closed {
+		return ErrClosed
+	}
+
+	// Stage 4: commit — all under the lock, no backend I/O. Fetches still
+	// in the air predate the new epoch and must not install; write
+	// reservations stay attached (their data is newer than our batch).
+	s.staleFetchFlightsLocked()
+	// Blocks still dirty at commit (re-dirtied while the lock was down)
+	// can never be evicted unflushed: retain them into the new epoch,
+	// giving up the cold tail of the selection if capacity demands it.
+	var forced []block.Key
+	for k := range s.dirty {
+		forced = append(forced, k)
+	}
+	sort.Slice(forced, func(i, j int) bool { return forced[i] < forced[j] })
+	final := make([]block.Key, 0, len(selected)+len(forced))
+	inFinal := make(map[block.Key]bool, cap(final))
+	for _, k := range forced {
+		final = append(final, k)
+		inFinal[k] = true
+	}
+	for _, k := range selected {
+		if len(final) >= s.tags.Capacity() {
+			break
+		}
+		if inFinal[k] {
+			continue
+		}
+		if s.frames[k] == nil && (fetched[k] == nil || s.rotSkip[k]) {
+			// Not resident and nothing trustworthy fetched (written or
+			// invalidated during the transition): leave it out; a later
+			// epoch can re-select it.
+			continue
+		}
+		final = append(final, k)
+		inFinal[k] = true
+	}
+	_, evicted := s.tags.Swap(final)
+	for _, k := range evicted {
+		s.free = append(s.free, s.frames[k])
+		delete(s.frames, k)
+		s.stats.Evictions++
+	}
+	for _, k := range final {
+		if s.frames[k] == nil {
+			s.frames[k] = fetched[k]
+			s.stats.EpochMoves++
 		}
 	}
-	buf := make([]byte, block.Size)
-	for _, k := range selected {
-		if s.tags.Contains(k) {
-			continue // retained across epochs: replacement cancels allocation
-		}
-		if err := s.backend.ReadAt(k.Server(), k.Volume(), buf, k.Offset()); err != nil {
-			return fmt.Errorf("core: epoch move for %v: %w", k, err)
-		}
-		s.stats.BackendReads++
-		s.stats.BackendBytesRead += block.Size
-		if err := s.install(k, buf); err != nil {
-			return err
-		}
-		s.stats.EpochMoves++
+	s.stats.Epochs++
+
+	// Stage 5: reset the logs — off-lock again (the logger is safe for
+	// concurrent use, and accesses logged since Select carry into the new
+	// epoch). The swap is already committed; a reset failure is surfaced
+	// but no longer rolls anything back.
+	s.mu.Unlock()
+	err = s.logger.Reset()
+	s.mu.Lock()
+	if err != nil {
+		return fmt.Errorf("core: epoch log reset: %w", err)
 	}
 	return nil
 }
@@ -896,6 +1299,11 @@ func (s *Store) Invalidate(server, volume int, off uint64, length int) (int, err
 		if f, ok := s.inflight[key]; ok {
 			f.stale = true
 			delete(s.inflight, key)
+		}
+		// An epoch transition staging right now may have fetched this
+		// block already; its swap must not resurrect invalidated data.
+		if s.rotating {
+			s.rotSkip[key] = true
 		}
 		if !s.tags.Contains(key) {
 			continue

@@ -1,0 +1,552 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/sieve"
+	"repro/internal/store"
+)
+
+// openD opens a SieveStore-D store over be with a 1-hour epoch and the
+// given threshold, clocked by clk.
+func openD(t *testing.T, clk *fakeClock, be Backend, threshold int64, spill string) *Store {
+	t.Helper()
+	s, err := Open(be, Options{
+		CacheBytes: 64 * block.Size,
+		Variant:    VariantD,
+		DThreshold: threshold,
+		Epoch:      time.Hour,
+		Now:        clk.Now,
+		SpillDir:   spill,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestConcurrentReadsDuringRotation proves the tentpole property: an epoch
+// rotation whose batch fetch is stuck in the backend must not block
+// concurrent cache hits or writes. Under the old design the rotation did
+// its backend I/O while holding the store mutex, and both probes below
+// would time out.
+func TestConcurrentReadsDuringRotation(t *testing.T) {
+	mem := store.NewMem()
+	mem.AddVolume(0, 0, 1<<20)
+	gate := newGateBackend(mem)
+	clk := newFakeClock()
+	st := openD(t, clk, gate, 2, t.TempDir())
+	close(gate.release) // gate open for the warm-up phase
+
+	buf := make([]byte, block.Size)
+	// Epoch 1: make block 0 hot, rotate it in so later reads of it are hits.
+	for i := 0; i < 2; i++ {
+		if err := st.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Hour + time.Minute)
+	if err := st.ReadAt(0, 0, buf, 0); err != nil { // triggers rotation 1
+		t.Fatal(err)
+	}
+	if !st.Contains(0, 0, 0) || st.Stats().Epochs != 1 {
+		t.Fatalf("setup: %+v", st.Stats())
+	}
+
+	// Epoch 2: make blocks 1 and 2 hot, then close the gate so the next
+	// rotation's batch fetch hangs in the backend.
+	for i := 0; i < 2; i++ {
+		for blk := uint64(1); blk <= 2; blk++ {
+			if err := st.ReadAt(0, 0, buf, blk*block.Size); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gate.release = make(chan struct{})
+	gate.drain() // discard tokens from the warm-up reads
+	clk.Advance(time.Hour)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // this read trips the due rotation and rides it out
+		defer wg.Done()
+		b := make([]byte, block.Size)
+		if err := st.ReadAt(0, 0, b, 3*block.Size); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-gate.entered: // the rotation's batch fetch is now in the air
+	case <-time.After(5 * time.Second):
+		t.Fatal("rotation never reached the backend")
+	}
+
+	// A cache hit must be served while the rotation is stuck.
+	hitDone := make(chan struct{})
+	go func() {
+		defer close(hitDone)
+		b := make([]byte, block.Size)
+		if err := st.ReadAt(0, 0, b, 0); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-hitDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cache hit blocked behind an in-progress epoch rotation")
+	}
+
+	// So must a write-through write to an unrelated block.
+	wrDone := make(chan struct{})
+	go func() {
+		defer close(wrDone)
+		if err := st.WriteAt(0, 0, bytes.Repeat([]byte{0x3F}, block.Size), 5*block.Size); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-wrDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("write blocked behind an in-progress epoch rotation")
+	}
+
+	close(gate.release)
+	wg.Wait()
+	if st.Stats().Epochs != 2 {
+		t.Errorf("epochs = %d, want 2", st.Stats().Epochs)
+	}
+	if !st.Contains(0, 0, block.Size) || !st.Contains(0, 0, 2*block.Size) {
+		t.Error("rotation did not install the new epoch's hot set")
+	}
+	if st.Contains(0, 0, 0) {
+		t.Error("cold block from the previous epoch survived the swap")
+	}
+}
+
+// TestRotationFailureLeavesStateIntact checks failure-atomicity: a backend
+// error during the rotation's batch fetch must leave both the cache
+// contents and the spill logs exactly as they were, so a retry after the
+// fault clears succeeds using the accumulated counts.
+func TestRotationFailureLeavesStateIntact(t *testing.T) {
+	mem := testBackend()
+	want := bytes.Repeat([]byte{0xA7}, block.Size)
+	if err := mem.WriteAt(0, 0, want, 0); err != nil {
+		t.Fatal(err)
+	}
+	faulty := store.NewFaulty(mem)
+	clk := newFakeClock()
+	st := openD(t, clk, faulty, 2, t.TempDir())
+
+	buf := make([]byte, block.Size)
+	// Epoch 1: blocks 0 and 1 become the cached set.
+	for i := 0; i < 2; i++ {
+		for blk := uint64(0); blk <= 1; blk++ {
+			if err := st.ReadAt(0, 0, buf, blk*block.Size); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	clk.Advance(time.Hour + time.Minute)
+	if err := st.ReadAt(0, 0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Contains(0, 0, 0) || !st.Contains(0, 0, block.Size) {
+		t.Fatalf("setup: %+v", st.Stats())
+	}
+
+	// Epoch 2: block 2 qualifies, but the backend fails mid-rotation.
+	for i := 0; i < 2; i++ {
+		if err := st.ReadAt(0, 0, buf, 2*block.Size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faulty.FailReads(true)
+	clk.Advance(time.Hour)
+	// The triggering access is a cache hit: the failed rotation is absorbed
+	// (counted, not propagated) and the hit is served from the intact cache.
+	if err := st.ReadAt(0, 0, buf, 0); err != nil {
+		t.Fatalf("cache hit failed because an unrelated rotation failed: %v", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Error("hit served wrong data after failed rotation")
+	}
+	st1 := st.Stats()
+	if st1.RotateFailures != 1 || st1.Epochs != 1 {
+		t.Errorf("after failed rotation: RotateFailures=%d Epochs=%d", st1.RotateFailures, st1.Epochs)
+	}
+	if !st.Contains(0, 0, 0) || !st.Contains(0, 0, block.Size) || st.Contains(0, 0, 2*block.Size) {
+		t.Error("failed rotation changed the cache contents")
+	}
+
+	// A manual retry with the fault still armed surfaces the error.
+	if err := st.RotateEpoch(); !errors.Is(err, store.ErrInjected) {
+		t.Fatalf("RotateEpoch with faulty backend = %v, want ErrInjected", err)
+	}
+	if st.Stats().RotateFailures != 2 {
+		t.Errorf("RotateFailures = %d, want 2", st.Stats().RotateFailures)
+	}
+
+	// Fault cleared: the retry succeeds off the preserved logs.
+	faulty.FailReads(false)
+	if err := st.RotateEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Contains(0, 0, 2*block.Size) {
+		t.Error("retry after fault did not select block 2: epoch logs were lost")
+	}
+	if st.Stats().Epochs != 2 {
+		t.Errorf("Epochs = %d, want 2", st.Stats().Epochs)
+	}
+}
+
+// TestRotationAbortsWhenEvicteeFlushFails covers the write-back side of
+// failure-atomicity: if a dirty block about to be evicted by the swap
+// cannot be written back, the rotation must abort with the block still
+// dirty and resident (its frame holds the only current copy).
+func TestRotationAbortsWhenEvicteeFlushFails(t *testing.T) {
+	mem := testBackend()
+	faulty := store.NewFaulty(mem)
+	clk := newFakeClock()
+	s, err := Open(faulty, Options{
+		CacheBytes: 64 * block.Size,
+		Variant:    VariantD,
+		DThreshold: 2,
+		Epoch:      time.Hour,
+		Now:        clk.Now,
+		SpillDir:   t.TempDir(),
+		WriteBack:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	buf := make([]byte, block.Size)
+	for i := 0; i < 2; i++ {
+		if err := s.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RotateEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(0, 0, 0) {
+		t.Fatal("setup: block 0 not rotated in")
+	}
+	// Dirty the resident block, then make a different block the next
+	// epoch's selection so the swap wants to evict block 0.
+	data := bytes.Repeat([]byte{0x5A}, block.Size)
+	if err := s.WriteAt(0, 0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().DirtyBlocks != 1 {
+		t.Fatalf("setup: %+v", s.Stats())
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.ReadAt(0, 0, buf, block.Size); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	faulty.FailWrites(true)
+	if err := s.RotateEpoch(); !errors.Is(err, store.ErrInjected) {
+		t.Fatalf("RotateEpoch = %v, want ErrInjected from the evictee write-back", err)
+	}
+	st := s.Stats()
+	if st.RotateFailures != 1 || st.Epochs != 1 {
+		t.Errorf("RotateFailures=%d Epochs=%d", st.RotateFailures, st.Epochs)
+	}
+	if !s.Contains(0, 0, 0) || st.DirtyBlocks != 1 {
+		t.Fatal("aborted rotation evicted (or cleaned) the unflushed dirty block")
+	}
+
+	// Fault cleared: the rotation completes, flushing the evictee first.
+	faulty.FailWrites(false)
+	if err := s.RotateEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(0, 0, 0) || !s.Contains(0, 0, block.Size) {
+		t.Error("retried rotation did not install the new set")
+	}
+	got := make([]byte, block.Size)
+	if err := mem.ReadAt(0, 0, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("evicted dirty block never reached the backend")
+	}
+	if s.Stats().DirtyBlocks != 0 {
+		t.Error("dirty block survived the successful rotation")
+	}
+}
+
+// TestRestartResumesEpochLogs: with a caller-supplied spill directory the
+// epoch access counts are durable state — a store reopened over the same
+// directory must select blocks whose accesses happened before the restart.
+func TestRestartResumesEpochLogs(t *testing.T) {
+	dir := t.TempDir()
+	be := testBackend()
+	clk := newFakeClock()
+	st := openD(t, clk, be, 2, dir)
+	buf := make([]byte, block.Size)
+	for i := 0; i < 2; i++ {
+		if err := st.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openD(t, clk, be, 2, dir)
+	if err := st2.RotateEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Contains(0, 0, 0) {
+		t.Fatal("epoch access counts were lost across the restart")
+	}
+}
+
+// TestSnapshotSaveUnderConcurrentWrites takes snapshots while writers
+// hammer the store (write-back, so the save also drains dirty blocks
+// concurrently). Every writer writes whole uniform blocks, so any torn
+// frame copy in the snapshot shows up as a non-uniform block on restore.
+func TestSnapshotSaveUnderConcurrentWrites(t *testing.T) {
+	const writers = 4
+	mem := store.NewMem()
+	mem.AddVolume(0, 0, 1<<20)
+	st, err := Open(mem, Options{CacheBytes: 64 * block.Size, SieveC: smallSieve(), WriteBack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, block.Size)
+			for v := byte(1); ; v++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range buf {
+					buf[i] = v
+				}
+				blk := uint64(w*8) + uint64(v%8)
+				if err := st.WriteAt(0, 0, buf, blk*block.Size); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Let the writers populate the cache before the first save.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().CachedBlocks < 16 {
+		if time.Now().After(deadline) {
+			t.Fatal("writers never populated the cache")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var snap bytes.Buffer
+	for i := 0; i < 5; i++ {
+		snap.Reset()
+		if err := st.SaveSnapshot(&snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st2, err := Open(mem, Options{CacheBytes: 64 * block.Size, SieveC: smallSieve()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.LoadSnapshot(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Stats().CachedBlocks == 0 {
+		t.Fatal("snapshot restored nothing; test ineffective")
+	}
+	got := make([]byte, block.Size)
+	for blk := uint64(0); blk < writers*8; blk++ {
+		if err := st2.ReadAt(0, 0, got, blk*block.Size); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range got {
+			if b != got[0] {
+				t.Fatalf("block %d restored torn (mixed %d and %d): snapshot copied a frame mid-write", blk, got[0], b)
+			}
+		}
+	}
+}
+
+// TestVictimFlushFailureDoesNotFailRead: a read whose admission would
+// evict a dirty block must not fail (or lose data) when that victim's
+// write-back fails — the victim stays dirty and resident, the failure is
+// counted, and the read is served.
+func TestVictimFlushFailureDoesNotFailRead(t *testing.T) {
+	mem := store.NewMem()
+	mem.AddVolume(0, 0, 1<<20)
+	want := bytes.Repeat([]byte{0xC3}, block.Size)
+	if err := mem.WriteAt(0, 0, want, 10*block.Size); err != nil {
+		t.Fatal(err)
+	}
+	faulty := store.NewFaulty(mem)
+	st, err := Open(faulty, Options{CacheBytes: 4 * block.Size, SieveC: smallSieve(), WriteBack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Fill the 4-block cache with dirty blocks (smallSieve admits on the
+	// first miss, and admitted write-back writes never reach the backend).
+	for blk := uint64(0); blk < 4; blk++ {
+		data := bytes.Repeat([]byte{byte(blk + 1)}, block.Size)
+		if err := st.WriteAt(0, 0, data, blk*block.Size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := st.Stats(); s.DirtyBlocks != 4 || s.BackendWrites != 0 {
+		t.Fatalf("setup: %+v", s)
+	}
+
+	faulty.FailWrites(true)
+	got := make([]byte, block.Size)
+	if err := st.ReadAt(0, 0, got, 10*block.Size); err != nil {
+		t.Fatalf("read failed because an unrelated victim's flush failed: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("read served wrong data")
+	}
+	s := st.Stats()
+	if s.FlushErrors != 1 {
+		t.Errorf("FlushErrors = %d, want 1", s.FlushErrors)
+	}
+	if s.DirtyBlocks != 4 {
+		t.Errorf("DirtyBlocks = %d, want 4 (victim must stay dirty)", s.DirtyBlocks)
+	}
+	if !st.Contains(0, 0, 0) {
+		t.Error("dirty victim was evicted despite its failed write-back")
+	}
+	if st.Contains(0, 0, 10*block.Size) {
+		t.Error("new block was installed over an unflushable victim")
+	}
+
+	// Fault cleared: nothing was lost.
+	faulty.FailWrites(false)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.ReadAt(0, 0, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{1}, block.Size)) {
+		t.Error("dirty victim's data lost")
+	}
+}
+
+// TestAwaitFlightAdmitsWithFreshTimestamp: a coalesced reader that ends up
+// re-fetching (because the flight it joined failed) consults the sieve
+// after an arbitrarily long wait. It must use the post-wait clock — with
+// the pre-block timestamp the sieve would see an access inside a window
+// that has in fact long expired, and wrongly admit.
+func TestAwaitFlightAdmitsWithFreshTimestamp(t *testing.T) {
+	mem := store.NewMem()
+	mem.AddVolume(0, 0, 1<<20)
+	flaky := &nthFailBackend{Backend: mem, failCall: 2}
+	gate := newGateBackend(flaky)
+	clk := newFakeClock()
+	// T1=1,T2=2 with a 1 h window: the 1st miss warms the sieve; a 2nd
+	// consultation within the window admits, after the window it does not.
+	st, err := Open(gate, Options{
+		CacheBytes: 64 * block.Size,
+		SieveC:     sieve.CConfig{IMCTSize: 1 << 12, T1: 1, T2: 2, Window: time.Hour, Subwindows: 4},
+		Now:        clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	buf := make([]byte, block.Size)
+	go func() { <-gate.entered; close(gate.release) }()
+	if err := st.ReadAt(0, 0, buf, 0); err != nil { // 1st miss: sieve warms
+		t.Fatal(err)
+	}
+	gate.release = make(chan struct{})
+
+	// Leader misses and parks in the backend; its fetch will fail.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b := make([]byte, block.Size)
+		if err := st.ReadAt(0, 0, b, 0); !errors.Is(err, store.ErrInjected) {
+			t.Errorf("leader: %v, want ErrInjected", err)
+		}
+	}()
+	select {
+	case <-gate.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never reached the backend")
+	}
+	// Follower joins the leader's flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b := make([]byte, block.Size)
+		if err := st.ReadAt(0, 0, b, 0); err != nil { // re-fetches, succeeds
+			t.Errorf("follower: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().CoalescedReads < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The sieve window expires while both callers are parked.
+	clk.Advance(2 * time.Hour)
+	close(gate.release)
+	wg.Wait()
+
+	if st.Contains(0, 0, 0) {
+		t.Error("re-fetch admitted with a stale pre-wait timestamp: the sieve window had expired")
+	}
+}
+
+// nthFailBackend fails exactly its n-th ReadAt (1-based), passing all
+// other requests through.
+type nthFailBackend struct {
+	store.Backend
+	mu       sync.Mutex
+	calls    int
+	failCall int
+}
+
+func (b *nthFailBackend) ReadAt(server, volume int, p []byte, off uint64) error {
+	b.mu.Lock()
+	b.calls++
+	fail := b.calls == b.failCall
+	b.mu.Unlock()
+	if fail {
+		return store.ErrInjected
+	}
+	return b.Backend.ReadAt(server, volume, p, off)
+}

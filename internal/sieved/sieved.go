@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"repro/internal/block"
 )
@@ -32,14 +33,27 @@ const DefaultPartitions = 16
 
 // Logger is the access log: R append-only partition files of
 // <address, count> tuples.
+//
+// Logger is safe for concurrent use. In particular Select may reduce the
+// epoch's logs while other goroutines keep appending: the reduction covers
+// exactly the tuples flushed at its start, and appends that race it are
+// preserved for the next epoch by the matching Reset.
 type Logger struct {
 	dir        string
 	partitions int
-	writers    []*bufio.Writer
-	files      []*os.File
+
+	mu      sync.Mutex
+	writers []*bufio.Writer
+	files   []*os.File
 	// tuples counts the live tuples per partition (for compaction
 	// bookkeeping and tests).
 	tuples []int64
+	// marks records, per partition, the file offset up to which the most
+	// recent Select reduced the log (-1: no Select pending). Reset keeps
+	// the tuples appended past the mark — accesses logged while an epoch
+	// transition was in flight count toward the next epoch instead of
+	// being dropped.
+	marks  []int64
 	closed bool
 }
 
@@ -64,7 +78,10 @@ func makeLogger(dir string, partitions int, resume bool) (*Logger, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sieved: %w", err)
 	}
-	l := &Logger{dir: dir, partitions: partitions, tuples: make([]int64, partitions)}
+	l := &Logger{dir: dir, partitions: partitions, tuples: make([]int64, partitions), marks: make([]int64, partitions)}
+	for p := range l.marks {
+		l.marks[p] = -1
+	}
 	for p := 0; p < partitions; p++ {
 		flags := os.O_RDWR | os.O_CREATE | os.O_TRUNC
 		if resume {
@@ -82,17 +99,21 @@ func makeLogger(dir string, partitions int, resume bool) (*Logger, error) {
 		// Salvage each partition: reduce whatever decodes cleanly and
 		// rewrite the file, dropping a torn final tuple left by a crash
 		// mid-write. Afterwards every partition is compact and valid.
+		l.mu.Lock()
 		for p := 0; p < partitions; p++ {
-			salvaged, err := l.readPartitionSalvage(p)
+			salvaged, err := l.readPartitionLocked(p, true)
 			if err != nil {
+				l.mu.Unlock()
 				l.Close()
 				return nil, err
 			}
-			if err := l.rewritePartition(p, salvaged); err != nil {
+			if err := l.rewritePartitionLocked(p, salvaged); err != nil {
+				l.mu.Unlock()
 				l.Close()
 				return nil, err
 			}
 		}
+		l.mu.Unlock()
 	}
 	return l, nil
 }
@@ -127,6 +148,8 @@ func (l *Logger) LogRequest(req *block.Request) error {
 }
 
 func (l *Logger) logTuple(key block.Key, count int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return fmt.Errorf("sieved: logger is closed")
 	}
@@ -143,6 +166,8 @@ func (l *Logger) logTuple(key block.Key, count int64) error {
 
 // TupleCount returns the total number of live tuples across partitions.
 func (l *Logger) TupleCount() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var total int64
 	for _, n := range l.tuples {
 		total += n
@@ -156,29 +181,40 @@ type tuple struct {
 	count int64
 }
 
-// readPartition loads and per-key-reduces one partition: the tuples are
-// sorted by address and contiguous runs of the same address are summed —
-// the paper's sort + run-length reduction.
-func (l *Logger) readPartition(p int) ([]tuple, error) {
-	return l.readPartitionMode(p, false)
-}
-
-// readPartitionSalvage is the crash-recovery variant: a torn trailing
-// tuple is dropped instead of failing the read.
-func (l *Logger) readPartitionSalvage(p int) ([]tuple, error) {
-	return l.readPartitionMode(p, true)
-}
-
-func (l *Logger) readPartitionMode(p int, salvage bool) ([]tuple, error) {
-	if err := l.writers[p].Flush(); err != nil {
-		return nil, err
+// flushPartitionLocked flushes partition p's write buffer and returns the
+// resulting file size — a tuple boundary, since every append happens in
+// full under l.mu. Callers must hold l.mu.
+func (l *Logger) flushPartitionLocked(p int) (int64, error) {
+	if l.closed {
+		return 0, fmt.Errorf("sieved: logger is closed")
 	}
+	if err := l.writers[p].Flush(); err != nil {
+		return 0, err
+	}
+	fi, err := l.files[p].Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// readPartitionRange decodes and per-key-reduces the tuples in byte range
+// [from, to) of partition p's file: the tuples are sorted by address and
+// contiguous runs of the same address are summed — the paper's sort +
+// run-length reduction. The range must start and end on tuple boundaries
+// (salvage mode instead drops a torn trailing tuple). It opens the file
+// independently, so it needs l.mu only if the file may be concurrently
+// rewritten — appends beyond `to` are invisible and harmless.
+func (l *Logger) readPartitionRange(p int, from, to int64, salvage bool) ([]tuple, error) {
 	f, err := os.Open(l.partitionPath(p))
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		return nil, err
+	}
+	r := bufio.NewReaderSize(io.LimitReader(f, to-from), 1<<16)
 	var tuples []tuple
 	for {
 		k, err := binary.ReadUvarint(r)
@@ -213,23 +249,38 @@ func (l *Logger) readPartitionMode(p int, salvage bool) ([]tuple, error) {
 	return out, nil
 }
 
+// readPartitionLocked flushes and reduces all of partition p under l.mu.
+func (l *Logger) readPartitionLocked(p int, salvage bool) ([]tuple, error) {
+	size, err := l.flushPartitionLocked(p)
+	if err != nil {
+		return nil, err
+	}
+	return l.readPartitionRange(p, 0, size, salvage)
+}
+
 // Compact performs the paper's incremental per-key reduction: each
 // partition is rewritten with one tuple per address, shrinking the logs
-// without losing counts. It may be called at any time between epochs.
+// without losing counts. It may be called at any time between epochs; a
+// pending Select mark is invalidated (the next Reset clears everything).
 func (l *Logger) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for p := 0; p < l.partitions; p++ {
-		reduced, err := l.readPartition(p)
+		reduced, err := l.readPartitionLocked(p, false)
 		if err != nil {
 			return err
 		}
-		if err := l.rewritePartition(p, reduced); err != nil {
+		if err := l.rewritePartitionLocked(p, reduced); err != nil {
 			return err
 		}
+		l.marks[p] = -1
 	}
 	return nil
 }
 
-func (l *Logger) rewritePartition(p int, tuples []tuple) error {
+// rewritePartitionLocked replaces partition p's file with the given
+// tuples. Callers must hold l.mu.
+func (l *Logger) rewritePartitionLocked(p int, tuples []tuple) error {
 	f, err := os.Create(l.partitionPath(p))
 	if err != nil {
 		return err
@@ -251,10 +302,17 @@ func (l *Logger) rewritePartition(p int, tuples []tuple) error {
 }
 
 // Counts runs the full reduction and calls fn for every (address, count)
-// pair of the current epoch, in no particular order.
+// pair of the current epoch, in no particular order. Tuples appended
+// concurrently with the call may or may not be included.
 func (l *Logger) Counts(fn func(key block.Key, count int64)) error {
 	for p := 0; p < l.partitions; p++ {
-		reduced, err := l.readPartition(p)
+		l.mu.Lock()
+		size, err := l.flushPartitionLocked(p)
+		l.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		reduced, err := l.readPartitionRange(p, 0, size, false)
 		if err != nil {
 			return err
 		}
@@ -265,18 +323,38 @@ func (l *Logger) Counts(fn func(key block.Key, count int64)) error {
 	return nil
 }
 
-// EndEpoch reduces the epoch's logs, selects every block whose access
+// Select reduces the epoch's logs and returns every block whose access
 // count meets the threshold — ordered by descending count so callers can
-// truncate to cache capacity keeping the hottest blocks — and resets the
-// logs for the next epoch.
-func (l *Logger) EndEpoch(threshold int64) ([]block.Key, error) {
+// truncate to cache capacity keeping the hottest blocks. The logs are NOT
+// reset: a failed epoch transition can simply retry (or give up) without
+// losing the epoch's counts. Call Reset once the transition has succeeded.
+//
+// Logging may continue concurrently: the selection covers exactly the
+// tuples flushed when each partition is visited, and a mark is recorded so
+// the matching Reset carries later appends into the next epoch. l.mu is
+// held only for the per-partition flush, never across file reads, so the
+// hot logging path is not blocked behind the reduction.
+func (l *Logger) Select(threshold int64) ([]block.Key, error) {
 	var selected []tuple
-	if err := l.Counts(func(key block.Key, count int64) {
-		if count >= threshold {
-			selected = append(selected, tuple{key, count})
+	for p := 0; p < l.partitions; p++ {
+		l.mu.Lock()
+		size, err := l.flushPartitionLocked(p)
+		l.mu.Unlock()
+		if err != nil {
+			return nil, err
 		}
-	}); err != nil {
-		return nil, err
+		reduced, err := l.readPartitionRange(p, 0, size, false)
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		l.marks[p] = size
+		l.mu.Unlock()
+		for _, t := range reduced {
+			if t.count >= threshold {
+				selected = append(selected, t)
+			}
+		}
 	}
 	sort.Slice(selected, func(i, j int) bool {
 		if selected[i].count != selected[j].count {
@@ -288,10 +366,49 @@ func (l *Logger) EndEpoch(threshold int64) ([]block.Key, error) {
 	for i, t := range selected {
 		keys[i] = t.key
 	}
+	return keys, nil
+}
+
+// Reset starts the next epoch. Tuples covered by the most recent Select
+// are dropped; tuples appended after it (accesses logged while the epoch
+// transition was in flight) are kept and count toward the new epoch.
+// Without a pending Select the logs are cleared outright.
+func (l *Logger) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for p := 0; p < l.partitions; p++ {
-		if err := l.rewritePartition(p, nil); err != nil {
-			return nil, err
+		var tail []tuple
+		if mark := l.marks[p]; mark >= 0 {
+			size, err := l.flushPartitionLocked(p)
+			if err != nil {
+				return err
+			}
+			if size > mark {
+				if tail, err = l.readPartitionRange(p, mark, size, false); err != nil {
+					return err
+				}
+			}
 		}
+		if err := l.rewritePartitionLocked(p, tail); err != nil {
+			return err
+		}
+		l.marks[p] = -1
+	}
+	return nil
+}
+
+// EndEpoch is Select followed by Reset: it reduces the epoch's logs,
+// selects every block whose access count meets the threshold, and resets
+// the logs for the next epoch. Callers that must stay consistent across a
+// failure between the two steps (e.g. a batch allocation that fetches the
+// selected blocks) should call Select and Reset themselves.
+func (l *Logger) EndEpoch(threshold int64) ([]block.Key, error) {
+	keys, err := l.Select(threshold)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Reset(); err != nil {
+		return nil, err
 	}
 	return keys, nil
 }
@@ -299,6 +416,8 @@ func (l *Logger) EndEpoch(threshold int64) ([]block.Key, error) {
 // Close flushes and closes all partitions. The spill files remain on disk
 // (the caller owns the directory).
 func (l *Logger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return nil
 	}

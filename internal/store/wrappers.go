@@ -70,9 +70,10 @@ var ErrInjected = errors.New("store: injected fault")
 type Faulty struct {
 	Backend
 
-	mu        sync.Mutex
-	failReads bool
-	failAfter int64 // fail once this many more requests have passed; -1 = off
+	mu         sync.Mutex
+	failReads  bool
+	failWrites bool
+	failAfter  int64 // fail once this many more requests have passed; -1 = off
 }
 
 // NewFaulty wraps backend with fault injection disabled.
@@ -87,6 +88,13 @@ func (f *Faulty) FailReads(on bool) {
 	f.failReads = on
 }
 
+// FailWrites toggles immediate write failures.
+func (f *Faulty) FailWrites(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWrites = on
+}
+
 // FailAfter arms a one-shot failure after n successful requests.
 func (f *Faulty) FailAfter(n int64) {
 	f.mu.Lock()
@@ -98,6 +106,9 @@ func (f *Faulty) shouldFail(isRead bool) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if isRead && f.failReads {
+		return true
+	}
+	if !isRead && f.failWrites {
 		return true
 	}
 	if f.failAfter >= 0 {
