@@ -116,8 +116,9 @@ func main() {
 				line := fmt.Sprintf("stats: accesses=%d hit=%.1f%% cached=%d/%d dirty=%d allocW=%d epochs=%d coalesced=%d",
 					s.Reads+s.Writes, 100*s.HitRatio(), s.CachedBlocks, s.CapacityBlocks,
 					s.DirtyBlocks, s.AllocWrites, s.Epochs, s.CoalescedReads)
-				if s.FlushErrors > 0 || s.RotateFailures > 0 {
-					line += fmt.Sprintf(" flushErr=%d rotateFail=%d", s.FlushErrors, s.RotateFailures)
+				if s.FlushErrors > 0 || s.RotateFailures > 0 || s.ResetFailures > 0 {
+					line += fmt.Sprintf(" flushErr=%d rotateFail=%d resetFail=%d",
+						s.FlushErrors, s.RotateFailures, s.ResetFailures)
 				}
 				if *trackLat {
 					line += fmt.Sprintf(" rdLat=%v/%v wrLat=%v/%v",

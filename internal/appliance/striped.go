@@ -132,6 +132,7 @@ func (sc *StripedClient) Stats() (core.Stats, error) {
 		total.BackendBytesServedRead += s.BackendBytesServedRead
 		total.CoalescedReads += s.CoalescedReads
 		total.RotateFailures += s.RotateFailures
+		total.ResetFailures += s.ResetFailures
 		total.FlushErrors += s.FlushErrors
 		total.ReadLatency = total.ReadLatency.Add(s.ReadLatency)
 		total.WriteLatency = total.WriteLatency.Add(s.WriteLatency)

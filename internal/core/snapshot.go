@@ -150,13 +150,29 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	// Dirty blocks are flushed (staged, off-lock) rather than lost; a
-	// flush failure aborts the load with the cache untouched.
-	if err := s.drainDirtyLocked(); err != nil {
-		return err
+	for {
+		if s.closed {
+			return ErrClosed
+		}
+		// An epoch transition staging right now would evict most of the
+		// restored set at its commit (its final set was chosen before the
+		// load): wait it out, as Close and RotateEpoch do.
+		for s.rotating {
+			s.rotCond.Wait()
+		}
+		if s.closed {
+			return ErrClosed
+		}
+		// Dirty blocks are flushed (staged, off-lock) rather than lost; a
+		// flush failure aborts the load with the cache untouched.
+		if err := s.drainDirtyLocked(); err != nil {
+			return err
+		}
+		// The drain releases the lock while streaming, so a rotation may
+		// have started meanwhile — re-check before replacing the cache.
+		if !s.rotating {
+			break
+		}
 	}
 	// The snapshot replaces the cache contents wholesale and its data is
 	// trusted over the backend's; in-flight fetches must not install.
@@ -168,14 +184,12 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 		s.free = append(s.free, s.frames[k])
 		delete(s.frames, k)
 	}
-	// Install in reverse so the hottest block ends most-recently-used.
+	// Install in reverse so the hottest block ends most-recently-used. No
+	// rotation can be staging here (waited out above, and the lock is held
+	// from that check through the install), so the restored frames cannot
+	// be overwritten or evicted by an epoch commit.
 	for i := len(entries) - 1; i >= 0; i-- {
 		s.install(entries[i].key, entries[i].data)
-		if s.rotating {
-			// An epoch transition staging concurrently must not overwrite
-			// restored (trusted) frames with its pre-load batch fetch.
-			s.rotSkip[entries[i].key] = true
-		}
 	}
 	return nil
 }

@@ -139,7 +139,8 @@ type Stats struct {
 	CacheBytesServed       int64 // bytes of reads served from cache
 	BackendBytesServedRead int64
 	CoalescedReads         int64 // miss blocks served by joining another caller's in-flight fetch
-	RotateFailures         int64 // epoch rotations aborted by a backend or log error (VariantD)
+	RotateFailures         int64 // epoch rotations aborted before the swap by a backend or log error (VariantD)
+	ResetFailures          int64 // epoch log resets that failed after the swap committed — the rotation still counts in Epochs (VariantD)
 	FlushErrors            int64 // dirty write-backs that failed (the blocks stay dirty and resident)
 
 	// ReadLatency/WriteLatency aggregate whole-call ReadAt/WriteAt service
@@ -1092,12 +1093,16 @@ func (s *Store) rotateIfDue() {
 			return
 		}
 		s.curEpoch++
-		if err := s.rotateStaged(); err != nil {
-			// The failed transition touched nothing: the spill logs and
+		if committed, err := s.rotateStaged(); err != nil {
+			// An aborted transition touched nothing: the spill logs and
 			// the previous epoch's cache set are intact, and the next
 			// boundary (or a manual RotateEpoch) retries with the counts
-			// still accumulating.
-			s.stats.RotateFailures++
+			// still accumulating. A post-commit reset failure is counted
+			// separately (ResetFailures, inside rotateStaged) — the
+			// rotation itself took effect.
+			if !committed {
+				s.stats.RotateFailures++
+			}
 			return
 		}
 		if s.closed {
@@ -1131,15 +1136,18 @@ func (s *Store) RotateEpoch() error {
 	if s.closed {
 		return ErrClosed
 	}
-	if err := s.rotateStaged(); err != nil {
+	committed, err := s.rotateStaged()
+	if !committed {
 		s.stats.RotateFailures++
 		return err
 	}
 	// Restart the schedule: the next automatic rotation is one full Epoch
 	// from now. (start is only used for epoch scheduling under VariantD.)
+	// The boundary took effect even if the post-commit log reset failed —
+	// that error is returned but counted in ResetFailures, not as an abort.
 	s.start = s.now()
 	s.curEpoch = 0
-	return nil
+	return err
 }
 
 // rotateStaged performs one SieveStore-D epoch transition. Called with mu
@@ -1148,8 +1156,10 @@ func (s *Store) RotateEpoch() error {
 // served throughout — and failure-atomic: any error before the final swap
 // leaves both the spill logs and the cache contents exactly as they were
 // (Select does not reset the logs; Reset runs only after the swap
-// commits).
-func (s *Store) rotateStaged() error {
+// commits). committed reports whether the swap took effect: a reset error
+// after the commit is returned with committed true so callers can count it
+// separately from an abort.
+func (s *Store) rotateStaged() (committed bool, err error) {
 	s.rotating = true
 	s.rotSkip = make(map[block.Key]bool)
 	defer func() {
@@ -1163,10 +1173,10 @@ func (s *Store) rotateStaged() error {
 	selected, err := s.logger.Select(s.opts.DThreshold)
 	s.mu.Lock()
 	if err != nil {
-		return err
+		return false, err
 	}
 	if s.closed {
-		return ErrClosed
+		return false, ErrClosed
 	}
 	if cap := s.tags.Capacity(); len(selected) > cap {
 		selected = selected[:cap] // Select orders hottest-first
@@ -1188,10 +1198,10 @@ func (s *Store) rotateStaged() error {
 	s.stats.BackendReads += nReads
 	s.stats.BackendBytesRead += nBytes
 	if err != nil {
-		return err
+		return false, err
 	}
 	if s.closed {
-		return ErrClosed
+		return false, ErrClosed
 	}
 
 	// Stage 3: write back dirty blocks the swap would evict — staged like
@@ -1202,16 +1212,27 @@ func (s *Store) rotateStaged() error {
 		inNew[k] = true
 	}
 	if err := s.flushStagedLocked(func(k block.Key) bool { return !inNew[k] }); err != nil {
-		return err
+		return false, err
 	}
 	if s.closed {
-		return ErrClosed
+		return false, ErrClosed
 	}
 
 	// Stage 4: commit — all under the lock, no backend I/O. Fetches still
 	// in the air predate the new epoch and must not install; write
 	// reservations stay attached (their data is newer than our batch).
 	s.staleFetchFlightsLocked()
+	// A write reservation still pending at commit may already have sent its
+	// data to the backend — after our batch fetch read the old contents —
+	// without yet re-acquiring mu to mark rotSkip itself. Write-back
+	// through-writes never fold their data into the cache afterwards, so
+	// installing our fetched copy would serve stale data until the next
+	// epoch: treat the key as skipped now.
+	for k, f := range s.inflight {
+		if f.isWrite {
+			s.rotSkip[k] = true
+		}
+	}
 	// Blocks still dirty at commit (re-dirtied while the lock was down)
 	// can never be evicted unflushed: retain them into the new epoch,
 	// giving up the cold tail of the selection if capacity demands it.
@@ -1259,14 +1280,17 @@ func (s *Store) rotateStaged() error {
 	// Stage 5: reset the logs — off-lock again (the logger is safe for
 	// concurrent use, and accesses logged since Select carry into the new
 	// epoch). The swap is already committed; a reset failure is surfaced
-	// but no longer rolls anything back.
+	// but no longer rolls anything back — the rotation itself took effect
+	// (counted in Epochs, not RotateFailures), and tuples in partitions the
+	// reset could not clear double-count into the next epoch's selection.
 	s.mu.Unlock()
-	err = s.logger.Reset()
+	rerr := s.logger.Reset()
 	s.mu.Lock()
-	if err != nil {
-		return fmt.Errorf("core: epoch log reset: %w", err)
+	if rerr != nil {
+		s.stats.ResetFailures++
+		return true, fmt.Errorf("core: epoch log reset: %w", rerr)
 	}
-	return nil
+	return true, nil
 }
 
 // Contains reports whether a block is currently cached (test/debug aid).

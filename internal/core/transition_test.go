@@ -531,6 +531,179 @@ func TestAwaitFlightAdmitsWithFreshTimestamp(t *testing.T) {
 	}
 }
 
+// gateWriteBackend blocks every WriteAt until released; reads pass
+// through. It lets tests hold a backend write "in the air" while the
+// store does something else.
+type gateWriteBackend struct {
+	store.Backend
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gateWriteBackend) WriteAt(server, volume int, p []byte, off uint64) error {
+	g.entered <- struct{}{}
+	<-g.release
+	return g.Backend.WriteAt(server, volume, p, off)
+}
+
+// TestWriteDuringRotationNotOverwrittenByStaleFetch: in write-back mode a
+// write to a non-resident block goes straight to the backend while its
+// reservation sits in the in-flight table. If an epoch rotation's batch
+// fetch read the block's old contents and its commit runs before the
+// writer re-acquires the lock, the commit must not install the pre-write
+// copy — unlike write-through, the write-back path never folds
+// through-written data into the cache afterwards, so a stale install
+// would serve old data until the next epoch.
+func TestWriteDuringRotationNotOverwrittenByStaleFetch(t *testing.T) {
+	mem := store.NewMem()
+	mem.AddVolume(0, 0, 1<<20)
+	old := bytes.Repeat([]byte{0x11}, block.Size)
+	if err := mem.WriteAt(0, 0, old, 7*block.Size); err != nil {
+		t.Fatal(err)
+	}
+	gate := &gateWriteBackend{
+		Backend: mem,
+		entered: make(chan struct{}, 8),
+		release: make(chan struct{}),
+	}
+	clk := newFakeClock()
+	s, err := Open(gate, Options{
+		CacheBytes: 64 * block.Size,
+		Variant:    VariantD,
+		DThreshold: 2,
+		Epoch:      time.Hour,
+		Now:        clk.Now,
+		SpillDir:   t.TempDir(),
+		WriteBack:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Make block 7 hot so the next rotation selects it (VariantD admits
+	// only at epoch boundaries, so it is not resident yet).
+	buf := make([]byte, block.Size)
+	for i := 0; i < 2; i++ {
+		if err := s.ReadAt(0, 0, buf, 7*block.Size); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Park a write to block 7 in the backend, its reservation still held.
+	newData := bytes.Repeat([]byte{0x22}, block.Size)
+	done := make(chan error, 1)
+	go func() { done <- s.WriteAt(0, 0, newData, 7*block.Size) }()
+	select {
+	case <-gate.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("write never reached the backend")
+	}
+
+	// Rotate while the write is in the air: the batch fetch reads the old
+	// contents from the backend; the commit must skip the reserved key.
+	if err := s.RotateEpoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	close(gate.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, block.Size)
+	if err := s.ReadAt(0, 0, got, 7*block.Size); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newData) {
+		t.Fatal("read served the rotation's pre-write fetched copy: stale data")
+	}
+}
+
+// TestLoadSnapshotWaitsForRotation: a snapshot load arriving while an
+// epoch rotation is staging must wait for the rotation's commit — the
+// commit's tag swap was computed before the load and would otherwise
+// evict most of the just-restored (trusted) set.
+func TestLoadSnapshotWaitsForRotation(t *testing.T) {
+	mem := store.NewMem()
+	mem.AddVolume(0, 0, 1<<20)
+
+	// Build a snapshot of blocks 10..13 with a scratch store.
+	src, err := Open(mem, Options{CacheBytes: 64 * block.Size, SieveC: smallSieve()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, block.Size)
+	for blk := uint64(10); blk <= 13; blk++ {
+		for i := 0; i < 3; i++ {
+			if err := src.ReadAt(0, 0, buf, blk*block.Size); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !src.Contains(0, 0, blk*block.Size) {
+			t.Fatalf("setup: block %d not admitted", blk)
+		}
+	}
+	var snap bytes.Buffer
+	if err := src.SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := newGateBackend(mem)
+	clk := newFakeClock()
+	st := openD(t, clk, gate, 2, t.TempDir())
+	close(gate.release) // gate open for the warm-up phase
+
+	// Epoch 1: blocks 1 and 2 get hot.
+	for i := 0; i < 2; i++ {
+		for blk := uint64(1); blk <= 2; blk++ {
+			if err := st.ReadAt(0, 0, buf, blk*block.Size); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gate.release = make(chan struct{})
+	gate.drain()
+	clk.Advance(time.Hour + time.Minute)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // trips the due rotation and rides it out
+		defer wg.Done()
+		b := make([]byte, block.Size)
+		if err := st.ReadAt(0, 0, b, 3*block.Size); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-gate.entered: // the rotation's batch fetch is now in the air
+	case <-time.After(5 * time.Second):
+		t.Fatal("rotation never reached the backend")
+	}
+
+	// Load the snapshot while the rotation is staging.
+	loadDone := make(chan error, 1)
+	go func() { loadDone <- st.LoadSnapshot(bytes.NewReader(snap.Bytes())) }()
+
+	// Give a buggy load a chance to install before the rotation commits,
+	// then let the rotation (and with it the load) finish.
+	time.Sleep(20 * time.Millisecond)
+	close(gate.release)
+	wg.Wait()
+	if err := <-loadDone; err != nil {
+		t.Fatal(err)
+	}
+
+	for blk := uint64(10); blk <= 13; blk++ {
+		if !st.Contains(0, 0, blk*block.Size) {
+			t.Fatalf("snapshot block %d was discarded by the concurrent rotation's commit", blk)
+		}
+	}
+}
+
 // nthFailBackend fails exactly its n-th ReadAt (1-based), passing all
 // other requests through.
 type nthFailBackend struct {

@@ -37,10 +37,19 @@ const DefaultPartitions = 16
 // Logger is safe for concurrent use. In particular Select may reduce the
 // epoch's logs while other goroutines keep appending: the reduction covers
 // exactly the tuples flushed at its start, and appends that race it are
-// preserved for the next epoch by the matching Reset.
+// preserved for the next epoch by the matching Reset. Whole-file rewrites
+// (Compact, Reset) are serialized against the lock-free partition readers
+// by a per-partition rewrite lock, so a reduction racing them sees either
+// the old or the new file contents, never a torn read.
 type Logger struct {
 	dir        string
 	partitions int
+
+	// rewrite serializes whole-file partition rewrites against the readers
+	// that run without l.mu (Select, Counts): l.mu alone only excludes
+	// appends, not the read window, and a rewrite truncates the inode the
+	// reader is positioned in.
+	rewrite []sync.RWMutex
 
 	mu      sync.Mutex
 	writers []*bufio.Writer
@@ -78,7 +87,13 @@ func makeLogger(dir string, partitions int, resume bool) (*Logger, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sieved: %w", err)
 	}
-	l := &Logger{dir: dir, partitions: partitions, tuples: make([]int64, partitions), marks: make([]int64, partitions)}
+	l := &Logger{
+		dir:        dir,
+		partitions: partitions,
+		rewrite:    make([]sync.RWMutex, partitions),
+		tuples:     make([]int64, partitions),
+		marks:      make([]int64, partitions),
+	}
 	for p := range l.marks {
 		l.marks[p] = -1
 	}
@@ -203,9 +218,12 @@ func (l *Logger) flushPartitionLocked(p int) (int64, error) {
 // contiguous runs of the same address are summed — the paper's sort +
 // run-length reduction. The range must start and end on tuple boundaries
 // (salvage mode instead drops a torn trailing tuple). It opens the file
-// independently, so it needs l.mu only if the file may be concurrently
-// rewritten — appends beyond `to` are invisible and harmless.
+// independently and runs without l.mu — appends beyond `to` are invisible
+// and harmless — but holds the partition's rewrite lock (shared) so a
+// concurrent Compact or Reset cannot truncate the file mid-read.
 func (l *Logger) readPartitionRange(p int, from, to int64, salvage bool) ([]tuple, error) {
+	l.rewrite[p].RLock()
+	defer l.rewrite[p].RUnlock()
 	f, err := os.Open(l.partitionPath(p))
 	if err != nil {
 		return nil, err
@@ -279,8 +297,12 @@ func (l *Logger) Compact() error {
 }
 
 // rewritePartitionLocked replaces partition p's file with the given
-// tuples. Callers must hold l.mu.
+// tuples. Callers must hold l.mu; the partition's rewrite lock (acquired
+// here, after l.mu — always in that order) excludes the lock-free readers
+// for the duration of the truncate-and-rewrite.
 func (l *Logger) rewritePartitionLocked(p int, tuples []tuple) error {
+	l.rewrite[p].Lock()
+	defer l.rewrite[p].Unlock()
 	f, err := os.Create(l.partitionPath(p))
 	if err != nil {
 		return err
@@ -373,28 +395,48 @@ func (l *Logger) Select(threshold int64) ([]block.Key, error) {
 // are dropped; tuples appended after it (accesses logged while the epoch
 // transition was in flight) are kept and count toward the new epoch.
 // Without a pending Select the logs are cleared outright.
+//
+// A failing partition does not stop the sweep: the remaining partitions
+// are still reset and the first error is returned — aborting mid-way
+// would leave every later partition unreset, double-counting its
+// already-selected tuples into the next epoch. A partition that could not
+// be read keeps its mark (a retry can still finish the job); one whose
+// rewrite failed has its mark cleared, since the file's contents are no
+// longer what the mark was measured against.
 func (l *Logger) Reset() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("sieved: logger is closed")
+	}
+	var first error
 	for p := 0; p < l.partitions; p++ {
 		var tail []tuple
 		if mark := l.marks[p]; mark >= 0 {
 			size, err := l.flushPartitionLocked(p)
 			if err != nil {
-				return err
+				if first == nil {
+					first = err
+				}
+				continue
 			}
 			if size > mark {
 				if tail, err = l.readPartitionRange(p, mark, size, false); err != nil {
-					return err
+					if first == nil {
+						first = err
+					}
+					continue
 				}
 			}
 		}
 		if err := l.rewritePartitionLocked(p, tail); err != nil {
-			return err
+			if first == nil {
+				first = err
+			}
 		}
 		l.marks[p] = -1
 	}
-	return nil
+	return first
 }
 
 // EndEpoch is Select followed by Reset: it reduces the epoch's logs,
