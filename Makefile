@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke experiments fuzz fmt vet clean
+.PHONY: all build test race cover bench bench-smoke bench-hot experiments fuzz fmt vet clean
 
 # Tier-1 flow: compile, static checks, unit tests, the race detector over
 # every package (the concurrent store/appliance paths must stay
@@ -30,6 +30,12 @@ bench:
 # bench run's cost.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentStore|BenchmarkRotationWhileServing' -benchtime 100ms .
+
+# Hit-path scaling sweep: pure cache-hit throughput at 1–8 GOMAXPROCS for
+# Shards=1 vs Shards=8. The headline number for the sharded-store work;
+# compare ns/op across -cpu to see lock-contention scaling.
+bench-hot:
+	$(GO) test -run '^$$' -bench BenchmarkHitPathParallel -cpu 1,2,4,8 .
 
 # Full evaluation at the default reproduction scale (minutes).
 experiments:

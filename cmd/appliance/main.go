@@ -11,14 +11,18 @@
 //
 //	appliance -listen :9000 -cache-mb 64 -servers 4 -volume-mb 1024
 //	appliance -listen :9000 -variant d -epoch 24h -snapshot /var/lib/sieve.snap
+//	appliance -listen :9000 -shards 8 -pprof 127.0.0.1:6060 -mutex-profile-fraction 5
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // handlers on DefaultServeMux; only served when -pprof is set
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -45,8 +49,23 @@ func main() {
 		dataDir   = flag.String("data", "", "back volumes with sparse files under this directory (empty: in-memory)")
 		statsEach = flag.Duration("stats", time.Minute, "stats logging interval (0 disables)")
 		trackLat  = flag.Bool("track-latency", true, "record per-op read/write service times (reported in stats)")
+		shards    = flag.Int("shards", 0, "store lock shards, power of two (0: one per CPU)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
+		mutexFrac = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction rate for /debug/pprof/mutex (0: off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if *mutexFrac > 0 {
+			runtime.SetMutexProfileFraction(*mutexFrac)
+		}
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	var backend core.Backend
 	if *dataDir != "" {
@@ -69,10 +88,15 @@ func main() {
 		backend = mem
 	}
 
+	nShards := *shards
+	if nShards == 0 {
+		nShards = core.DefaultShards()
+	}
 	opts := core.Options{
 		CacheBytes:   *cacheMB << 20,
 		WriteBack:    *writeBack,
 		TrackLatency: *trackLat,
+		Shards:       nShards,
 	}
 	switch *variant {
 	case "c":
@@ -106,8 +130,8 @@ func main() {
 	srv := appliance.NewServer(st)
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*listen) }()
-	log.Printf("%s serving on %s (cache %d MiB, %d servers × %d MiB, write-back=%v)",
-		st.Variant(), *listen, *cacheMB, *servers, *volumeMB, *writeBack)
+	log.Printf("%s serving on %s (cache %d MiB, %d shards, %d servers × %d MiB, write-back=%v)",
+		st.Variant(), *listen, *cacheMB, st.Shards(), *servers, *volumeMB, *writeBack)
 
 	if *statsEach > 0 {
 		go func() {

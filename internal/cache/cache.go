@@ -191,3 +191,26 @@ func (c *Cache) pushFront(n *node) {
 	c.head.next.prev = n
 	c.head.next = n
 }
+
+// PartitionCapacity splits a total block capacity as evenly as possible
+// across n partitions: every partition gets total/n blocks and the first
+// total%n partitions get one extra, so the sum is exactly total and no
+// two partitions differ by more than one block. It panics when n < 1 or
+// total < n (a partition of capacity zero cannot hold a cache).
+func PartitionCapacity(total, n int) []int {
+	if n < 1 {
+		panic("cache: PartitionCapacity with n < 1")
+	}
+	if total < n {
+		panic("cache: PartitionCapacity with total < n")
+	}
+	caps := make([]int, n)
+	base, extra := total/n, total%n
+	for i := range caps {
+		caps[i] = base
+		if i < extra {
+			caps[i]++
+		}
+	}
+	return caps
+}

@@ -240,3 +240,40 @@ func BenchmarkInsertTouch(b *testing.B) {
 		}
 	}
 }
+
+func TestPartitionCapacity(t *testing.T) {
+	cases := []struct {
+		total, n int
+		want     []int
+	}{
+		{total: 10, n: 1, want: []int{10}},
+		{total: 10, n: 2, want: []int{5, 5}},
+		{total: 10, n: 4, want: []int{3, 3, 2, 2}},
+		{total: 7, n: 4, want: []int{2, 2, 2, 1}},
+		{total: 4, n: 4, want: []int{1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		got := PartitionCapacity(c.total, c.n)
+		sum := 0
+		for i, v := range got {
+			sum += v
+			if v != c.want[i] {
+				t.Errorf("PartitionCapacity(%d,%d) = %v, want %v", c.total, c.n, got, c.want)
+				break
+			}
+		}
+		if sum != c.total {
+			t.Errorf("PartitionCapacity(%d,%d) sums to %d", c.total, c.n, sum)
+		}
+	}
+	for _, bad := range []struct{ total, n int }{{0, 1}, {3, 4}, {5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PartitionCapacity(%d,%d): want panic", bad.total, bad.n)
+				}
+			}()
+			PartitionCapacity(bad.total, bad.n)
+		}()
+	}
+}

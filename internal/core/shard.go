@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/cache"
+	"repro/internal/sieve"
+)
+
+// framePool recycles 512-byte block buffers across shards so that frame
+// installs and coalesced-waiter copies do not allocate per event. Frames
+// evicted from a shard's cache go to that shard's free list first (they
+// are hot in that shard); the pool backs first-fill and the transient
+// copies handed to flight waiters.
+var framePool = sync.Pool{
+	New: func() any { return new([block.Size]byte) },
+}
+
+// frameGet returns a zero-copy 512-byte buffer from the pool.
+func frameGet() []byte { return framePool.Get().(*[block.Size]byte)[:] }
+
+// framePut recycles a buffer obtained from frameGet (or any 512-byte
+// slice whose backing array may be pinned harmlessly).
+func framePut(b []byte) {
+	if len(b) < block.Size {
+		return
+	}
+	framePool.Put((*[block.Size]byte)(b[:block.Size]))
+}
+
+// flight is one entry of a shard's in-flight table: a miss fetch or a
+// write reservation in progress with the shard lock released. Readers that
+// miss on a reserved key register as waiters and are served from the
+// flight instead of issuing a duplicate backend fetch.
+type flight struct {
+	done chan struct{} // closed (under the shard lock) when the op completes
+	// All remaining fields are guarded by the shard lock until done is
+	// closed; afterwards they are read-only (the channel close publishes
+	// them), except refs, which waiters decrement as they copy out.
+	data    []byte // the block's bytes; set at completion iff waiters > 0
+	err     error  // fetch/write failure, propagated to waiters
+	waiters int
+	// stale marks keys invalidated or batch-replaced while the flight was
+	// in the air: the owner must not install its (now outdated) view into
+	// the cache. The entry is detached from the table when marked, so new
+	// misses start a fresh fetch.
+	stale bool
+	// isWrite distinguishes write reservations (and staged write-backs)
+	// from miss fetches. Bulk replacements (epoch swap, snapshot load)
+	// stale only fetches: a fetch holds pre-replacement data, but a write
+	// completing afterwards carries *newer* data and must still fold it in.
+	isWrite bool
+	// pooled marks data as drawn from framePool; the last waiter to copy
+	// out (refs reaching zero) returns it.
+	pooled bool
+	refs   atomic.Int32
+}
+
+// publishLocked stages the flight's payload for its registered waiters,
+// drawing the copy from the frame pool instead of allocating. Must be
+// called under the shard lock, before close(done). The buffer is
+// refcounted by the waiter count; the last waiter returns it to the pool.
+func (f *flight) publishLocked(src []byte) {
+	if f.waiters == 0 {
+		return
+	}
+	buf := frameGet()
+	copy(buf, src)
+	f.data = buf
+	f.pooled = true
+	f.refs.Store(int32(f.waiters))
+}
+
+// adoptLocked is publishLocked for a buffer that is already a pool-origin
+// copy (staged flushes copy the frame anyway for the backend write). It
+// reports whether the waiters took ownership; if not, the caller still
+// owns the buffer and should recycle it.
+func (f *flight) adoptLocked(buf []byte) bool {
+	if f.waiters == 0 {
+		return false
+	}
+	f.data = buf
+	f.pooled = true
+	f.refs.Store(int32(f.waiters))
+	return true
+}
+
+// release is called by each waiter after copying the payload out; the
+// last one returns the pooled buffer.
+func (f *flight) release() {
+	if f.pooled && f.refs.Add(-1) == 0 {
+		framePut(f.data)
+	}
+}
+
+// shard is one lock-striped partition of the Store: a fully-associative
+// LRU tag store over its slice of the key space, with its own frames,
+// dirty set, in-flight table, sieve state, and stats. Keys map to shards
+// by hash (Store.shardOf); with Options.Shards == 1 the single shard is
+// exactly the paper's fully-associative cache.
+type shard struct {
+	store *Store
+	idx   int
+
+	mu       sync.Mutex
+	tags     *cache.Cache
+	frames   map[block.Key][]byte
+	dirty    map[block.Key]bool
+	free     [][]byte
+	inflight map[block.Key]*flight
+	sieveC   *sieve.C
+	// rotSkip is non-nil while a store-wide epoch transition is staging
+	// (it doubles as the per-shard "rotating" flag): keys written or
+	// invalidated during the transition are recorded so the commit cannot
+	// install its (older) fetched copy of them. The shard's commit
+	// consumes and clears it.
+	rotSkip map[block.Key]bool
+	stats   Stats
+
+	// _pad keeps adjacent shard allocations from false-sharing a cache
+	// line when the allocator packs them.
+	_pad [64]byte //nolint:unused
+}
+
+// alloc hands out a frame, preferring the shard's free list (frames
+// evicted from this shard) over the global pool.
+func (sh *shard) alloc() []byte {
+	if n := len(sh.free); n > 0 {
+		f := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		return f
+	}
+	return frameGet()
+}
+
+// maybeAdmit consults the sieve (VariantC) and installs the block on
+// approval. VariantD never admits continuously.
+func (sh *shard) maybeAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) {
+	sh.tryAdmit(key, data, kind, now, dirty)
+}
+
+// tryAdmit is maybeAdmit reporting whether the block was admitted.
+func (sh *shard) tryAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) bool {
+	if sh.sieveC == nil {
+		return false
+	}
+	acc := block.Access{Time: now.Sub(sh.store.sieveBase).Nanoseconds(), Key: key, Kind: kind}
+	if !sh.sieveC.ShouldAllocate(acc) {
+		return false
+	}
+	if !sh.install(key, data) {
+		return false
+	}
+	if dirty {
+		sh.dirty[key] = true
+	}
+	sh.stats.AllocWrites++
+	return true
+}
+
+// install copies data into a frame for key, evicting (and, in write-back
+// mode, flushing) the LRU block if full. It reports whether the block was
+// installed: when the dirty victim's write-back fails, the victim stays
+// resident and dirty (its frame holds the only current copy), the failure
+// is counted in Stats.FlushErrors, and the new block is simply not
+// allocated — the caller's own I/O already succeeded and must not be
+// failed by an unrelated block's flush.
+func (sh *shard) install(key block.Key, data []byte) bool {
+	if sh.tags.Len() >= sh.tags.Capacity() && !sh.tags.Contains(key) {
+		if victim, ok := sh.tags.LRU(); ok && sh.dirty[victim] {
+			if err := sh.flushBlock(victim); err != nil {
+				sh.stats.FlushErrors++
+				return false
+			}
+		}
+	}
+	if victim, evicted := sh.tags.Insert(key); evicted {
+		sh.stats.Evictions++
+		sh.free = append(sh.free, sh.frames[victim])
+		delete(sh.frames, victim)
+	}
+	frame := sh.alloc()
+	copy(frame, data)
+	sh.frames[key] = frame
+	return true
+}
+
+// flushBlock writes one dirty block back and clears its dirty bit.
+func (sh *shard) flushBlock(key block.Key) error {
+	frame, ok := sh.frames[key]
+	if !ok {
+		delete(sh.dirty, key)
+		return nil
+	}
+	if err := sh.store.backend.WriteAt(key.Server(), key.Volume(), frame, key.Offset()); err != nil {
+		return fmt.Errorf("core: write-back of %v: %w", key, err)
+	}
+	sh.stats.BackendWrites++
+	sh.stats.BackendBytesWritten += block.Size
+	sh.stats.FlushWrites++
+	delete(sh.dirty, key)
+	return nil
+}
+
+// staleFetchFlightsLocked detaches every in-flight *fetch* and marks it
+// stale. Called by bulk cache replacements (epoch swap, snapshot load) so
+// that fetches completing afterwards cannot install pre-replacement
+// frames. Write reservations stay attached: a write completing after the
+// replacement carries newer data than anything fetched or snapshotted and
+// must still fold it into the cache.
+func (sh *shard) staleFetchFlightsLocked() {
+	for key, f := range sh.inflight {
+		if f.isWrite {
+			continue
+		}
+		f.stale = true
+		delete(sh.inflight, key)
+	}
+}
+
+// reserveLocked claims the given blocks of a write in this shard's
+// in-flight table. Acquisition is all-or-nothing within the shard: if any
+// key is already claimed (a miss fetch or another write), the shard lock
+// is dropped and the caller waits for that flight with no reservations of
+// its own held *in this shard*, then retries. Cross-shard writers and
+// staged flushes both acquire shards in ascending index order, so waiting
+// here while holding reservations only in lower-numbered shards cannot
+// form a cycle. Caller must hold sh.mu; it may be released and
+// re-acquired. The returned flights are indexed like idxs.
+func (sh *shard) reserveLocked(server, volume int, first uint64, idxs []int) ([]*flight, error) {
+	for {
+		var conflict *flight
+		for _, i := range idxs {
+			if f, ok := sh.inflight[block.MakeKey(server, volume, first+uint64(i))]; ok {
+				conflict = f
+				break
+			}
+		}
+		if conflict == nil {
+			break
+		}
+		sh.mu.Unlock()
+		<-conflict.done
+		sh.mu.Lock()
+		if sh.store.closed.Load() {
+			return nil, ErrClosed
+		}
+	}
+	flights := make([]*flight, len(idxs))
+	for k, i := range idxs {
+		f := &flight{done: make(chan struct{}), isWrite: true}
+		sh.inflight[block.MakeKey(server, volume, first+uint64(i))] = f
+		flights[k] = f
+	}
+	return flights, nil
+}
+
+// completeLocked publishes a write's outcome to any coalesced readers and
+// releases this shard's reservations. flights is indexed by global block
+// index; idxs selects this shard's blocks. p is the written payload (nil
+// when the operation failed before producing data); err is propagated to
+// waiters.
+func (sh *shard) completeLocked(server, volume int, first uint64, idxs []int, flights []*flight, p []byte, err error) {
+	for _, i := range idxs {
+		f := flights[i]
+		if f == nil {
+			continue
+		}
+		key := block.MakeKey(server, volume, first+uint64(i))
+		if err != nil {
+			f.err = err
+		} else {
+			if p != nil {
+				f.publishLocked(p[i*block.Size : (i+1)*block.Size])
+			}
+			// A write landing while an epoch transition is staging has
+			// newer data than the transition's batch fetch: tell the swap
+			// not to install its copy of this block.
+			if sh.rotSkip != nil {
+				sh.rotSkip[key] = true
+			}
+		}
+		if sh.inflight[key] == f {
+			delete(sh.inflight, key)
+		}
+		close(f.done)
+	}
+}
+
+// flushStagedLocked writes this shard's dirty blocks back to the ensemble
+// without holding the shard lock across the backend I/O. only, if
+// non-nil, filters which dirty blocks are flushed. Caller must hold
+// sh.mu; the lock is released and re-acquired. Each victim is reserved as
+// a write flight first (so concurrent writes to it wait and reads
+// coalesce onto the cached data), its frame is copied, and the copies are
+// streamed in contiguous runs with bounded parallelism. Blocks whose
+// write failed stay dirty and are counted in Stats.FlushErrors; the first
+// error is returned.
+//
+// Reservation proceeds in ascending key order while holding earlier
+// reservations, and cross-shard callers visit shards in ascending index
+// order: any two staged flushes therefore acquire in the same global
+// (shard, key) order and cannot deadlock against each other; every other
+// flight owner (read misses, write reservations) completes without
+// waiting on later-ordered flights, so waiting here with reservations
+// held is safe.
+func (sh *shard) flushStagedLocked(only func(block.Key) bool) error {
+	var victims []block.Key
+	for k := range sh.dirty {
+		if only == nil || only(k) {
+			victims = append(victims, k)
+		}
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+
+	flights := make([]*flight, len(victims))
+	frames := make([][]byte, len(victims))
+	for i := 0; i < len(victims); {
+		k := victims[i]
+		if f, ok := sh.inflight[k]; ok {
+			sh.mu.Unlock()
+			<-f.done
+			sh.mu.Lock()
+			continue // re-check this key
+		}
+		if !sh.dirty[k] || sh.frames[k] == nil {
+			i++ // flushed or dropped while we waited
+			continue
+		}
+		f := &flight{done: make(chan struct{}), isWrite: true}
+		sh.inflight[k] = f
+		flights[i] = f
+		// Copy the frame (pooled): Invalidate can flush+recycle it while
+		// we stream.
+		frames[i] = frameGet()
+		copy(frames[i], sh.frames[k])
+		i++
+	}
+
+	runs := contiguousRuns(victims, func(i int) bool { return flights[i] != nil })
+	runErr := make([]error, len(runs))
+	ran := make([]bool, len(runs))
+
+	sh.mu.Unlock()
+	err := forEachRun(runs, func(ri int, r keyRun) error {
+		ran[ri] = true
+		n := r.hi - r.lo
+		buf := frames[r.lo]
+		if n > 1 {
+			buf = make([]byte, n*block.Size)
+			for i := 0; i < n; i++ {
+				copy(buf[i*block.Size:], frames[r.lo+i])
+			}
+		}
+		k0 := victims[r.lo]
+		if e := sh.store.backend.WriteAt(k0.Server(), k0.Volume(), buf, k0.Offset()); e != nil {
+			runErr[ri] = fmt.Errorf("core: write-back of %v: %w", k0, e)
+			return runErr[ri]
+		}
+		return nil
+	})
+	sh.mu.Lock()
+
+	for ri, r := range runs {
+		if !ran[ri] {
+			continue
+		}
+		if runErr[ri] == nil {
+			sh.stats.BackendWrites++
+			sh.stats.BackendBytesWritten += int64(r.hi-r.lo) * block.Size
+		}
+		for i := r.lo; i < r.hi; i++ {
+			if runErr[ri] == nil {
+				if sh.dirty[victims[i]] {
+					delete(sh.dirty, victims[i])
+					sh.stats.FlushWrites++
+				}
+			} else {
+				sh.stats.FlushErrors++
+			}
+		}
+	}
+	for i, k := range victims {
+		f := flights[i]
+		if f == nil {
+			continue
+		}
+		// The cache's copy is current regardless of the write-back
+		// outcome: serve coalesced readers from it, never an error. The
+		// waiters take over the pooled copy; otherwise recycle it.
+		if !f.adoptLocked(frames[i]) {
+			framePut(frames[i])
+		}
+		if sh.inflight[k] == f {
+			delete(sh.inflight, k)
+		}
+		close(f.done)
+	}
+	return err
+}
+
+// drainDirtyLocked flushes until no dirty blocks remain in this shard: a
+// few staged passes (writes may re-dirty blocks while the lock is down),
+// then a final serial pass under the lock — which cannot be raced — for
+// any stragglers.
+func (sh *shard) drainDirtyLocked() error {
+	for pass := 0; pass < 4 && len(sh.dirty) > 0; pass++ {
+		if err := sh.flushStagedLocked(nil); err != nil {
+			return err
+		}
+	}
+	for key := range sh.dirty {
+		if err := sh.flushBlock(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitEpochLocked applies a SieveStore-D epoch swap to this shard:
+// selected is the shard's slice of the new epoch's set, hottest-first;
+// fetched holds freshly-read frames for the previously non-resident keys.
+// Caller must hold sh.mu; no backend I/O happens here.
+func (sh *shard) commitEpochLocked(selected []block.Key, fetched map[block.Key][]byte) {
+	// Fetches still in the air predate the new epoch and must not
+	// install; write reservations stay attached (their data is newer than
+	// the batch fetch).
+	sh.staleFetchFlightsLocked()
+	// A write reservation still pending at commit may already have sent
+	// its data to the backend — after the batch fetch read the old
+	// contents — without yet re-acquiring the shard lock to mark rotSkip
+	// itself. Write-back through-writes never fold their data into the
+	// cache afterwards, so installing the fetched copy would serve stale
+	// data until the next epoch: treat the key as skipped now.
+	for k, f := range sh.inflight {
+		if f.isWrite {
+			sh.rotSkip[k] = true
+		}
+	}
+	// Blocks still dirty at commit (re-dirtied while no lock was held)
+	// can never be evicted unflushed: retain them into the new epoch,
+	// giving up the cold tail of the selection if capacity demands it.
+	var forced []block.Key
+	for k := range sh.dirty {
+		forced = append(forced, k)
+	}
+	sort.Slice(forced, func(i, j int) bool { return forced[i] < forced[j] })
+	final := make([]block.Key, 0, len(selected)+len(forced))
+	inFinal := make(map[block.Key]bool, cap(final))
+	for _, k := range forced {
+		final = append(final, k)
+		inFinal[k] = true
+	}
+	for _, k := range selected {
+		if len(final) >= sh.tags.Capacity() {
+			break
+		}
+		if inFinal[k] {
+			continue
+		}
+		if sh.frames[k] == nil && (fetched[k] == nil || sh.rotSkip[k]) {
+			// Not resident and nothing trustworthy fetched (written or
+			// invalidated during the transition): leave it out; a later
+			// epoch can re-select it.
+			continue
+		}
+		final = append(final, k)
+		inFinal[k] = true
+	}
+	_, evicted := sh.tags.Swap(final)
+	for _, k := range evicted {
+		sh.free = append(sh.free, sh.frames[k])
+		delete(sh.frames, k)
+		sh.stats.Evictions++
+	}
+	for _, k := range final {
+		if sh.frames[k] == nil {
+			sh.frames[k] = fetched[k]
+			sh.stats.EpochMoves++
+		}
+	}
+	// This shard's transition is committed; writes no longer need to
+	// record skips.
+	sh.rotSkip = nil
+}

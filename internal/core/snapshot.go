@@ -23,41 +23,50 @@ import (
 //	count    u64   (resident blocks)
 //	entries  count × { key u64 | data [512]byte }   (MRU first)
 //
-// All integers are big-endian.
+// All integers are big-endian. A sharded store writes its shards in
+// ascending order, each MRU-first — with Shards=1 this is exactly the
+// global MRU order. Snapshots are portable across shard counts: keys
+// rehash into their shards on load, keeping relative recency.
 
 var snapMagic = [4]byte{'S', 'V', 'S', '1'}
 
 // ErrBadSnapshot reports a malformed or incompatible snapshot stream.
 var ErrBadSnapshot = errors.New("core: bad snapshot")
 
-// SaveSnapshot writes the cache contents (tags and data, MRU→LRU) to w.
-// The store remains usable: the image is staged under the lock at memory
-// speed (dirty blocks drained, tags and frames copied) and then streamed
-// to w with no lock held, so a slow writer never stalls I/O. The image is
-// a consistent point-in-time view as of the copy.
+// SaveSnapshot writes the cache contents (tags and data, MRU→LRU per
+// shard) to w. The store remains usable: each shard's image is staged
+// under its lock at memory speed (dirty blocks drained, tags and frames
+// copied) and the whole image is then streamed to w with no lock held, so
+// a slow writer never stalls I/O. Each shard's slice is a consistent
+// point-in-time view as of its copy; with Shards=1 the whole image is one
+// consistent instant.
 func (s *Store) SaveSnapshot(w io.Writer) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	// Write-back mode: flush first so the backend and the snapshot are a
-	// consistent pair (a restore must be able to trust either copy). The
-	// drain ends under the lock with nothing dirty, and the copy below
-	// happens before the lock is released, so the invariant holds for the
-	// copied image even with writers running.
-	if err := s.drainDirtyLocked(); err != nil {
-		s.mu.Unlock()
-		return err
+	var keys []block.Key
+	var data []byte
+	capacity := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		// Write-back mode: flush first so the backend and the snapshot are
+		// a consistent pair (a restore must be able to trust either copy).
+		// The drain ends under the lock with nothing dirty, and the copy
+		// below happens before the lock is released, so the invariant
+		// holds for the copied image even with writers running.
+		if err := sh.drainDirtyLocked(); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		shKeys := sh.tags.Keys() // MRU → LRU
+		for _, k := range shKeys {
+			data = append(data, sh.frames[k]...)
+		}
+		keys = append(keys, shKeys...)
+		capacity += sh.tags.Capacity()
+		sh.mu.Unlock()
 	}
-	keys := s.tags.Keys() // MRU → LRU
-	data := make([]byte, len(keys)*block.Size)
-	for i, k := range keys {
-		copy(data[i*block.Size:], s.frames[k])
-	}
-	capacity := s.tags.Capacity()
 	variant := s.opts.Variant
-	s.mu.Unlock()
 
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(snapMagic[:]); err != nil {
@@ -88,18 +97,15 @@ func (s *Store) SaveSnapshot(w io.Writer) error {
 }
 
 // LoadSnapshot replaces the cache contents with a snapshot previously
-// written by SaveSnapshot. Entries beyond the store's capacity are dropped
-// from the cold (LRU) end. The snapshot's data is trusted; if the backing
-// ensemble may have changed while the cache was down, Invalidate the
-// affected ranges (or skip loading).
+// written by SaveSnapshot. Entries beyond a shard's capacity are dropped
+// from the cold (LRU) end of that shard. The snapshot's data is trusted;
+// if the backing ensemble may have changed while the cache was down,
+// Invalidate the affected ranges (or skip loading).
 func (s *Store) LoadSnapshot(r io.Reader) error {
 	// Fail fast on a closed store (checked again before the install).
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	s.mu.Unlock()
 	// Parse the whole stream first, with no lock held: a slow or huge
 	// snapshot reader must not stall concurrent I/O. (Capacity is fixed at
 	// Open, so reading it without the lock is safe.)
@@ -125,8 +131,12 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 	count := binary.BigEndian.Uint64(u64[:])
 
 	// Entries arrive MRU-first; cap at capacity (the tail is the cold end).
+	totalCap := 0
+	for _, sh := range s.shards {
+		totalCap += sh.tags.Capacity()
+	}
 	keep := count
-	if capacity := uint64(s.tags.Capacity()); keep > capacity {
+	if capacity := uint64(totalCap); keep > capacity {
 		keep = capacity
 	}
 	type entry struct {
@@ -148,48 +158,67 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 		}
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for {
-		if s.closed {
-			return ErrClosed
+	// An epoch transition staging right now would evict most of the
+	// restored set at its commit (its final set was chosen before the
+	// load): wait it out, then hold the rotating flag ourselves so no new
+	// transition can start while shards are being replaced.
+	s.rotMu.Lock()
+	for s.rotating {
+		s.rotCond.Wait()
+	}
+	if s.closed.Load() {
+		s.rotMu.Unlock()
+		return ErrClosed
+	}
+	s.rotating = true
+	s.rotMu.Unlock()
+	defer func() {
+		s.rotMu.Lock()
+		s.rotating = false
+		s.rotCond.Broadcast()
+		s.rotMu.Unlock()
+	}()
+
+	// Split MRU-first across shards, each capped at its own capacity.
+	perShard := make([][]entry, len(s.shards))
+	for _, e := range entries {
+		si := s.shardIndex(e.key)
+		if len(perShard[si]) < s.shards[si].tags.Capacity() {
+			perShard[si] = append(perShard[si], e)
 		}
-		// An epoch transition staging right now would evict most of the
-		// restored set at its commit (its final set was chosen before the
-		// load): wait it out, as Close and RotateEpoch do.
-		for s.rotating {
-			s.rotCond.Wait()
-		}
-		if s.closed {
-			return ErrClosed
-		}
-		// Dirty blocks are flushed (staged, off-lock) rather than lost; a
-		// flush failure aborts the load with the cache untouched.
-		if err := s.drainDirtyLocked(); err != nil {
+	}
+
+	// Replace shard by shard, ascending. Each shard's drain + replacement
+	// happens in one critical section (the drain may release the lock
+	// while streaming, but ends under it with nothing dirty). A flush
+	// failure aborts the load: shards already visited keep their restored
+	// contents, later shards are untouched — the first error is returned.
+	for si, sh := range s.shards {
+		sh.mu.Lock()
+		// Dirty blocks are flushed (staged, off-lock) rather than lost.
+		if err := sh.drainDirtyLocked(); err != nil {
+			sh.mu.Unlock()
 			return err
 		}
-		// The drain releases the lock while streaming, so a rotation may
-		// have started meanwhile — re-check before replacing the cache.
-		if !s.rotating {
-			break
+		// The snapshot replaces the cache contents wholesale and its data
+		// is trusted over the backend's; in-flight fetches must not
+		// install. Write reservations stay attached — a write completing
+		// after the load folds its newer data into the restored frames.
+		sh.staleFetchFlightsLocked()
+		for _, k := range sh.tags.Keys() {
+			sh.tags.Remove(k)
+			sh.free = append(sh.free, sh.frames[k])
+			delete(sh.frames, k)
 		}
-	}
-	// The snapshot replaces the cache contents wholesale and its data is
-	// trusted over the backend's; in-flight fetches must not install.
-	// Write reservations stay attached — a write completing after the load
-	// folds its newer data into the restored frames.
-	s.staleFetchFlightsLocked()
-	for _, k := range s.tags.Keys() {
-		s.tags.Remove(k)
-		s.free = append(s.free, s.frames[k])
-		delete(s.frames, k)
-	}
-	// Install in reverse so the hottest block ends most-recently-used. No
-	// rotation can be staging here (waited out above, and the lock is held
-	// from that check through the install), so the restored frames cannot
-	// be overwritten or evicted by an epoch commit.
-	for i := len(entries) - 1; i >= 0; i-- {
-		s.install(entries[i].key, entries[i].data)
+		// Install in reverse so the hottest block ends most-recently-used.
+		// No rotation can be staging here (the rotating flag is ours), so
+		// the restored frames cannot be overwritten or evicted by an
+		// epoch commit.
+		es := perShard[si]
+		for i := len(es) - 1; i >= 0; i-- {
+			sh.install(es[i].key, es[i].data)
+		}
+		sh.mu.Unlock()
 	}
 	return nil
 }

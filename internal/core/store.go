@@ -21,9 +21,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/block"
@@ -65,9 +68,18 @@ type Options struct {
 	// CacheBytes is the cache capacity (default 16 GiB; must be a multiple
 	// of the 512-byte block size).
 	CacheBytes int64
+	// Shards splits the store into this many key-hash shards, each with its
+	// own lock, tag store, frames, and sieve state, so the hit path scales
+	// with cores. Must be a power of two; 0 or 1 (the default) keeps the
+	// single fully-associative cache of the paper. Capacity is partitioned
+	// evenly across shards, so with Shards > 1 eviction is shard-local —
+	// hit ratios can differ marginally from the global-LRU figure.
+	Shards int
 	// Variant selects SieveStore-C (default) or SieveStore-D.
 	Variant Variant
-	// SieveC configures the continuous sieve (VariantC).
+	// SieveC configures the continuous sieve (VariantC). With Shards > 1
+	// each shard runs its own sieve over IMCTSize/Shards slots so total
+	// metastate is unchanged.
 	SieveC sieve.CConfig
 	// DThreshold is the epoch access-count threshold (VariantD; default 10).
 	DThreshold int64
@@ -90,6 +102,17 @@ type Options struct {
 	Now func() time.Time
 }
 
+// DefaultShards returns the appliance's default shard count: GOMAXPROCS
+// rounded up to a power of two (capped at 256).
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n && s < 256 {
+		s <<= 1
+	}
+	return s
+}
+
 func (o *Options) withDefaults() (Options, error) {
 	out := *o
 	if out.CacheBytes == 0 {
@@ -97,6 +120,15 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if out.CacheBytes < block.Size || out.CacheBytes%block.Size != 0 {
 		return out, fmt.Errorf("core: CacheBytes %d must be a positive multiple of %d", out.CacheBytes, block.Size)
+	}
+	if out.Shards == 0 {
+		out.Shards = 1
+	}
+	if out.Shards < 1 || out.Shards&(out.Shards-1) != 0 {
+		return out, fmt.Errorf("core: Shards %d must be a power of two", out.Shards)
+	}
+	if int64(out.Shards) > out.CacheBytes/block.Size {
+		return out, fmt.Errorf("core: Shards %d exceeds the cache's %d blocks", out.Shards, out.CacheBytes/block.Size)
 	}
 	if out.SieveC.IMCTSize == 0 {
 		out.SieveC = sieve.DefaultCConfig()
@@ -149,6 +181,33 @@ type Stats struct {
 	WriteLatency metrics.OpLatencySnapshot
 }
 
+// accumulate folds one shard's counters into the receiver.
+func (s *Stats) accumulate(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.ReadHits += o.ReadHits
+	s.WriteHits += o.WriteHits
+	s.AllocWrites += o.AllocWrites
+	s.Evictions += o.Evictions
+	s.EpochMoves += o.EpochMoves
+	s.Epochs += o.Epochs
+	s.BackendReads += o.BackendReads
+	s.BackendWrites += o.BackendWrites
+	s.CachedBlocks += o.CachedBlocks
+	s.CapacityBlocks += o.CapacityBlocks
+	s.SieveTrackedBlocks += o.SieveTrackedBlocks
+	s.DirtyBlocks += o.DirtyBlocks
+	s.FlushWrites += o.FlushWrites
+	s.BackendBytesRead += o.BackendBytesRead
+	s.BackendBytesWritten += o.BackendBytesWritten
+	s.CacheBytesServed += o.CacheBytesServed
+	s.BackendBytesServedRead += o.BackendBytesServedRead
+	s.CoalescedReads += o.CoalescedReads
+	s.RotateFailures += o.RotateFailures
+	s.ResetFailures += o.ResetFailures
+	s.FlushErrors += o.FlushErrors
+}
+
 // Hits returns total block hits.
 func (s Stats) Hits() int64 { return s.ReadHits + s.WriteHits }
 
@@ -169,65 +228,53 @@ var ErrAlignment = errors.New("core: offset and length must be multiples of 512"
 
 // Store is a SieveStore cache instance. It is safe for concurrent use.
 //
-// Concurrency model: mu guards all cache metadata (tags, frames, dirty,
-// sieve state, stats), but is never held across hot-path backend I/O.
-// A miss reserves its keys in the in-flight table, releases mu, fetches
-// from the ensemble, then re-acquires mu for sieve admission and frame
-// installation. Duplicate concurrent misses for a key coalesce onto the
-// first fetch (single-flight); writes reserve their key range so
-// backend-write order and cache-update order cannot invert.
+// Concurrency model: the cache is split into Options.Shards key-hash
+// shards, each guarded by its own mutex over that shard's tags, frames,
+// dirty set, in-flight table, sieve state, and stats. No shard lock is
+// ever held across hot-path backend I/O: a miss reserves its keys in the
+// shard's in-flight table, releases the lock, fetches from the ensemble,
+// then re-acquires it for sieve admission and frame installation.
+// Duplicate concurrent misses for a key coalesce onto the first fetch
+// (single-flight); writes reserve their key range — visiting shards in
+// ascending index order, the global deadlock-avoidance rule — so
+// backend-write order and cache-update order cannot invert. Cross-shard
+// operations (epoch rotation, Flush, Close, snapshots) are staged per
+// shard in the same ascending order. SieveStore-D access logging happens
+// before any shard lock is taken.
 type Store struct {
 	backend Backend
 	opts    Options
 
-	mu       sync.Mutex
-	tags     *cache.Cache
-	frames   map[block.Key][]byte
-	dirty    map[block.Key]bool
-	free     [][]byte
-	inflight map[block.Key]*flight
-	sieveC   *sieve.C
-	logger   *sieved.Logger
-	// epoch state (VariantD)
+	shards    []*shard
+	shardMask uint64
+	logger    *sieved.Logger
+
+	closed atomic.Bool
+
+	// rotMu guards the epoch schedule (start, curEpoch) and the rotating
+	// flag; rotCond is broadcast when a transition ends. deadline caches
+	// the next boundary as UnixNanos (MaxInt64 for VariantC) so the hot
+	// path checks it with one atomic load, no lock.
+	rotMu    sync.Mutex
+	rotCond  *sync.Cond
+	rotating bool
 	start    time.Time
 	curEpoch int64
-	// rotating is true while a staged epoch transition is in progress (mu
-	// is released across its backend I/O); rotCond is broadcast when it
-	// clears. rotSkip collects keys written or invalidated during the
-	// transition: the swap must not install its (older) fetched copy of
-	// them.
-	rotating bool
-	rotCond  *sync.Cond
-	rotSkip  map[block.Key]bool
+	deadline atomic.Int64
+
+	// sieveBase is the immutable Open time used for sieve access
+	// timestamps. (start also begins there but is reset by RotateEpoch,
+	// which must not rewind the sieve's windows.)
+	sieveBase time.Time
+
+	epochs         atomic.Int64
+	rotateFailures atomic.Int64
+	resetFailures  atomic.Int64
+
 	ownSpill string // temp dir to remove on Close, if any
-	stats    Stats
-	closed   bool
 
 	latRead  metrics.OpLatency
 	latWrite metrics.OpLatency
-}
-
-// flight is one entry of the per-key in-flight table: a miss fetch or a
-// write reservation in progress with mu released. Readers that miss on a
-// reserved key register as waiters and are served from the flight instead
-// of issuing a duplicate backend fetch.
-type flight struct {
-	done chan struct{} // closed (under mu) when the operation completes
-	// All remaining fields are guarded by Store.mu until done is closed;
-	// afterwards they are read-only (the channel close publishes them).
-	data    []byte // the block's bytes; set at completion iff waiters > 0
-	err     error  // fetch/write failure, propagated to waiters
-	waiters int
-	// stale marks keys invalidated or batch-replaced while the flight was
-	// in the air: the owner must not install its (now outdated) view into
-	// the cache. The entry is detached from the table when marked, so new
-	// misses start a fresh fetch.
-	stale bool
-	// isWrite distinguishes write reservations (and staged write-backs)
-	// from miss fetches. Bulk replacements (epoch swap, snapshot load)
-	// stale only fetches: a fetch holds pre-replacement data, but a write
-	// completing afterwards carries *newer* data and must still fold it in.
-	isWrite bool
 }
 
 // Open validates opts and returns a ready Store over backend.
@@ -239,24 +286,46 @@ func Open(backend Backend, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	now := o.Now()
 	s := &Store{
-		backend:  backend,
-		opts:     o,
-		tags:     cache.New(int(o.CacheBytes / block.Size)),
-		frames:   make(map[block.Key][]byte),
-		dirty:    make(map[block.Key]bool),
-		inflight: make(map[block.Key]*flight),
-		start:    o.Now(),
+		backend:   backend,
+		opts:      o,
+		shardMask: uint64(o.Shards - 1),
+		start:     now,
+		sieveBase: now,
 	}
-	s.rotCond = sync.NewCond(&s.mu)
-	s.stats.CapacityBlocks = o.CacheBytes / block.Size
+	s.rotCond = sync.NewCond(&s.rotMu)
+	s.deadline.Store(math.MaxInt64)
+	caps := cache.PartitionCapacity(int(o.CacheBytes/block.Size), o.Shards)
+	s.shards = make([]*shard, o.Shards)
+	for i := range s.shards {
+		sh := &shard{
+			store:    s,
+			idx:      i,
+			tags:     cache.New(caps[i]),
+			frames:   make(map[block.Key][]byte),
+			dirty:    make(map[block.Key]bool),
+			inflight: make(map[block.Key]*flight),
+		}
+		sh.stats.CapacityBlocks = int64(caps[i])
+		s.shards[i] = sh
+	}
 	switch o.Variant {
 	case VariantC:
-		sc, err := sieve.NewC(o.SieveC)
-		if err != nil {
-			return nil, err
+		// Each shard sieves its own slice of the key space; splitting the
+		// IMCT keeps total metastate (and the aliasing rate, since each
+		// shard sees ~1/Shards of the keys) unchanged.
+		cfg := o.SieveC
+		if o.Shards > 1 {
+			cfg.IMCTSize = (cfg.IMCTSize + o.Shards - 1) / o.Shards
 		}
-		s.sieveC = sc
+		for _, sh := range s.shards {
+			sc, err := sieve.NewC(cfg)
+			if err != nil {
+				return nil, err
+			}
+			sh.sieveC = sc
+		}
 	case VariantD:
 		dir := o.SpillDir
 		if dir == "" {
@@ -266,14 +335,22 @@ func Open(backend Backend, opts Options) (*Store, error) {
 			}
 			s.ownSpill = dir
 		}
+		// Keep the partition count a multiple of the shard count: both
+		// hash with the same mix, so every partition then holds keys of
+		// exactly one shard (partition p feeds shard p mod Shards) and
+		// concurrent shards never contend on a partition lock.
+		partitions := sieved.DefaultPartitions
+		if o.Shards > partitions {
+			partitions = o.Shards
+		}
 		var logger *sieved.Logger
 		if o.SpillDir != "" {
 			// A caller-supplied spill dir is durable state: resume (and
 			// salvage) the epoch in progress instead of truncating it — a
 			// daemon restart must not discard the day's access counts.
-			logger, err = sieved.OpenLogger(dir, sieved.DefaultPartitions)
+			logger, err = sieved.OpenLogger(dir, partitions)
 		} else {
-			logger, err = sieved.NewLogger(dir, sieved.DefaultPartitions)
+			logger, err = sieved.NewLogger(dir, partitions)
 		}
 		if err != nil {
 			if s.ownSpill != "" {
@@ -282,6 +359,7 @@ func Open(backend Backend, opts Options) (*Store, error) {
 			return nil, err
 		}
 		s.logger = logger
+		s.updateDeadlineLocked()
 	default:
 		return nil, fmt.Errorf("core: unknown variant %d", o.Variant)
 	}
@@ -291,42 +369,80 @@ func Open(backend Backend, opts Options) (*Store, error) {
 // Variant returns the store's sieving variant.
 func (s *Store) Variant() Variant { return s.opts.Variant }
 
-// Stats returns a snapshot of the store's counters.
-func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.CachedBlocks = int64(s.tags.Len())
-	st.DirtyBlocks = int64(len(s.dirty))
-	if s.sieveC != nil {
-		st.SieveTrackedBlocks = int64(s.sieveC.Stats().MCTSize)
+// Shards returns the store's shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardIndex maps a key to its shard with the same 64-bit avalanche mix
+// the sieved logger hashes partitions with, so shard i's keys land in
+// exactly the partitions ≡ i (mod Shards).
+func (s *Store) shardIndex(key block.Key) int {
+	if s.shardMask == 0 {
+		return 0
 	}
+	x := uint64(key)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x & s.shardMask)
+}
+
+func (s *Store) shardOf(key block.Key) *shard { return s.shards[s.shardIndex(key)] }
+
+// Stats returns a snapshot of the store's counters, merged across shards.
+// Each shard is snapshotted under its own lock; concurrent operations may
+// land between shard snapshots, so cross-shard sums are momentary, not a
+// single global instant (exact with Shards=1).
+func (s *Store) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sub := sh.stats
+		sub.CachedBlocks = int64(sh.tags.Len())
+		sub.DirtyBlocks = int64(len(sh.dirty))
+		if sh.sieveC != nil {
+			sub.SieveTrackedBlocks = int64(sh.sieveC.Stats().MCTSize)
+		}
+		sh.mu.Unlock()
+		st.accumulate(sub)
+	}
+	st.Epochs = s.epochs.Load()
+	st.RotateFailures = s.rotateFailures.Load()
+	st.ResetFailures = s.resetFailures.Load()
 	st.ReadLatency = s.latRead.Snapshot()
 	st.WriteLatency = s.latWrite.Snapshot()
 	return st
 }
 
 // Close releases the store's resources. In write-back mode the dirty
-// blocks are written back first (staged, without holding the lock across
-// the backend I/O); write-through stores have nothing to flush.
+// blocks are written back first (staged, without holding any shard lock
+// across the backend I/O); write-through stores have nothing to flush.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil
-	}
+	s.rotMu.Lock()
 	// Wait out an epoch transition in progress: it expects the logger and
 	// spill directory to outlive it.
 	for s.rotating {
 		s.rotCond.Wait()
 	}
-	if s.closed {
+	if s.closed.Load() {
+		s.rotMu.Unlock()
 		return nil
 	}
-	// Mark closed first so no new I/O can dirty blocks behind the staged
-	// flush (which releases the lock while streaming).
-	s.closed = true
-	err := s.drainDirtyLocked()
+	// Mark closed first so no new I/O can dirty blocks behind the drains.
+	// An operation already past its entry check either sees closed under
+	// its shard's lock (and writes through instead of dirtying) or holds
+	// the shard lock before our drain does — in which case the drain
+	// below sees its dirty blocks.
+	s.closed.Store(true)
+	s.rotMu.Unlock()
+
+	var err error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if derr := sh.drainDirtyLocked(); err == nil {
+			err = derr
+		}
+		sh.mu.Unlock()
+	}
 	if s.logger != nil {
 		if lerr := s.logger.Close(); err == nil {
 			err = lerr
@@ -352,10 +468,11 @@ func checkIO(p []byte, off uint64) error {
 // from the cache and the rest from the backend. Missing blocks are offered
 // to the sieve and admitted only if it approves.
 //
-// The backend fetch happens without the store lock: missing keys are first
-// reserved in the in-flight table (misses already being fetched by another
-// caller are joined rather than refetched), then read from the ensemble,
-// and finally — under the lock again — offered to the sieve and installed.
+// The backend fetch happens without any shard lock: missing keys are first
+// reserved in their shard's in-flight table (misses already being fetched
+// by another caller are joined rather than refetched), then read from the
+// ensemble, and finally — under the shard lock again — offered to the
+// sieve and installed.
 func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 	if err := checkIO(p, off); err != nil {
 		return err
@@ -364,8 +481,17 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 		start := time.Now()
 		defer func() { s.latRead.Observe(time.Since(start), err != nil) }()
 	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.maybeRotate()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	now := s.now()
 	nBlocks := len(p) / block.Size
 	first := off / block.Size
+	s.logAccess(server, volume, first, nBlocks)
 
 	// A miss is either owned (this call fetches it) or joined (another
 	// call's flight will deliver it); idx is the block's position in p.
@@ -373,44 +499,47 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 		idx int
 		key block.Key
 		f   *flight
+		sh  *shard
 	}
 	var mine, joined []miss
 
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return ErrClosed
-	}
-	s.rotateIfDue()
-	if s.closed { // rotateIfDue may release the lock; Close may have run
-		s.mu.Unlock()
-		return ErrClosed
-	}
-	now := s.now()
-	s.logAccess(server, volume, first, nBlocks)
-	s.stats.Reads += int64(nBlocks)
-	for i := 0; i < nBlocks; i++ {
-		key := block.MakeKey(server, volume, first+uint64(i))
-		if s.tags.Touch(key) {
-			copy(p[i*block.Size:(i+1)*block.Size], s.frames[key])
-			s.stats.ReadHits++
-			s.stats.CacheBytesServed += block.Size
-			continue
+	// Classify run-wise: each maximal run of consecutive blocks mapping to
+	// the same shard is handled in one critical section (with Shards=1 the
+	// whole request is a single critical section, exactly the unsharded
+	// behavior).
+	for i := 0; i < nBlocks; {
+		sh := s.shardOf(block.MakeKey(server, volume, first+uint64(i)))
+		j := i + 1
+		for j < nBlocks && s.shardOf(block.MakeKey(server, volume, first+uint64(j))) == sh {
+			j++
 		}
-		if f, ok := s.inflight[key]; ok {
-			f.waiters++
-			s.stats.CoalescedReads++
-			joined = append(joined, miss{idx: i, key: key, f: f})
-			continue
+		sh.mu.Lock()
+		sh.stats.Reads += int64(j - i)
+		for ; i < j; i++ {
+			key := block.MakeKey(server, volume, first+uint64(i))
+			if sh.tags.Touch(key) {
+				copy(p[i*block.Size:(i+1)*block.Size], sh.frames[key])
+				sh.stats.ReadHits++
+				sh.stats.CacheBytesServed += block.Size
+				continue
+			}
+			if f, ok := sh.inflight[key]; ok {
+				f.waiters++
+				sh.stats.CoalescedReads++
+				joined = append(joined, miss{idx: i, key: key, f: f, sh: sh})
+				continue
+			}
+			f := &flight{done: make(chan struct{})}
+			sh.inflight[key] = f
+			mine = append(mine, miss{idx: i, key: key, f: f, sh: sh})
 		}
-		f := &flight{done: make(chan struct{})}
-		s.inflight[key] = f
-		mine = append(mine, miss{idx: i, key: key, f: f})
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 
 	// Fetch owned misses from the ensemble in contiguous runs — lock-free,
-	// so concurrent callers overlap their backend latency.
+	// so concurrent callers overlap their backend latency. (Runs follow
+	// block adjacency, not shard boundaries: backend request geometry is
+	// unchanged by sharding.)
 	var fetchErr error
 	var nReads, nBytes int64
 	okUpto := len(mine)
@@ -430,31 +559,43 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 		lo = hi
 	}
 
-	// Re-acquire to account, admit, and complete the owned flights. Blocks
-	// fetched before a failed run are still admitted (matching the old
-	// run-at-a-time behavior).
-	s.mu.Lock()
-	s.stats.BackendReads += nReads
-	s.stats.BackendBytesRead += nBytes
-	s.stats.BackendBytesServedRead += nBytes
-	for j, m := range mine {
-		if j < okUpto {
-			data := p[m.idx*block.Size : (m.idx+1)*block.Size]
-			if !m.f.stale && !s.closed {
-				s.maybeAdmit(m.key, data, block.Read, now, false)
-			}
-			if m.f.waiters > 0 {
-				m.f.data = append([]byte(nil), data...)
-			}
-		} else {
-			m.f.err = fetchErr
+	// Re-acquire shard by shard to account, admit, and complete the owned
+	// flights. Blocks fetched before a failed run are still admitted
+	// (matching the old run-at-a-time behavior). Backend counters are
+	// charged once, to the first shard touched.
+	charged := nReads == 0 && nBytes == 0
+	for lo := 0; lo < len(mine); {
+		sh := mine[lo].sh
+		hi := lo + 1
+		for hi < len(mine) && mine[hi].sh == sh {
+			hi++
 		}
-		if s.inflight[m.key] == m.f {
-			delete(s.inflight, m.key)
+		sh.mu.Lock()
+		if !charged {
+			sh.stats.BackendReads += nReads
+			sh.stats.BackendBytesRead += nBytes
+			sh.stats.BackendBytesServedRead += nBytes
+			charged = true
 		}
-		close(m.f.done)
+		for j := lo; j < hi; j++ {
+			m := mine[j]
+			if j < okUpto {
+				data := p[m.idx*block.Size : (m.idx+1)*block.Size]
+				if !m.f.stale && !s.closed.Load() {
+					sh.maybeAdmit(m.key, data, block.Read, now, false)
+				}
+				m.f.publishLocked(data)
+			} else {
+				m.f.err = fetchErr
+			}
+			if sh.inflight[m.key] == m.f {
+				delete(sh.inflight, m.key)
+			}
+			close(m.f.done)
+		}
+		sh.mu.Unlock()
+		lo = hi
 	}
-	s.mu.Unlock()
 	if fetchErr != nil {
 		return fetchErr
 	}
@@ -463,7 +604,7 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 	// completed above, so blocking here cannot deadlock.
 	for _, m := range joined {
 		dst := p[m.idx*block.Size : (m.idx+1)*block.Size]
-		if err := s.awaitFlight(m.f, m.key, dst); err != nil {
+		if err := s.awaitFlight(m.sh, m.f, m.key, dst); err != nil {
 			return err
 		}
 	}
@@ -473,72 +614,103 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 // awaitFlight waits for another caller's in-flight fetch of key and copies
 // the result into dst. If that flight failed, the block is re-fetched
 // directly (joining yet another flight if one has appeared meanwhile).
-func (s *Store) awaitFlight(f *flight, key block.Key, dst []byte) error {
+func (s *Store) awaitFlight(sh *shard, f *flight, key block.Key, dst []byte) error {
 	for {
 		<-f.done
 		if f.err == nil {
 			copy(dst, f.data)
+			f.release()
 			return nil
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+		sh.mu.Lock()
+		if s.closed.Load() {
+			sh.mu.Unlock()
 			return ErrClosed
 		}
-		if s.tags.Touch(key) {
-			copy(dst, s.frames[key])
-			s.stats.ReadHits++
-			s.stats.CacheBytesServed += block.Size
-			s.mu.Unlock()
+		if sh.tags.Touch(key) {
+			copy(dst, sh.frames[key])
+			sh.stats.ReadHits++
+			sh.stats.CacheBytesServed += block.Size
+			sh.mu.Unlock()
 			return nil
 		}
-		if nf, ok := s.inflight[key]; ok {
+		if nf, ok := sh.inflight[key]; ok {
 			nf.waiters++
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			f = nf
 			continue
 		}
 		nf := &flight{done: make(chan struct{})}
-		s.inflight[key] = nf
-		s.mu.Unlock()
+		sh.inflight[key] = nf
+		sh.mu.Unlock()
 
 		err := s.backend.ReadAt(key.Server(), key.Volume(), dst, key.Offset())
 
-		s.mu.Lock()
+		sh.mu.Lock()
 		if err == nil {
-			s.stats.BackendReads++
-			s.stats.BackendBytesRead += block.Size
-			s.stats.BackendBytesServedRead += block.Size
-			if !nf.stale && !s.closed {
+			sh.stats.BackendReads++
+			sh.stats.BackendBytesRead += block.Size
+			sh.stats.BackendBytesServedRead += block.Size
+			if !nf.stale && !s.closed.Load() {
 				// Use the post-fetch clock, not the caller's pre-block one:
 				// this path may have waited on several flights, and a stale
 				// timestamp would admit through a sieve window that has in
 				// fact already expired.
-				s.maybeAdmit(key, dst, block.Read, s.now(), false)
+				sh.maybeAdmit(key, dst, block.Read, s.now(), false)
 			}
-			if nf.waiters > 0 {
-				nf.data = append([]byte(nil), dst...)
-			}
+			nf.publishLocked(dst)
 		} else {
 			nf.err = err
 		}
-		if s.inflight[key] == nf {
-			delete(s.inflight, key)
+		if sh.inflight[key] == nf {
+			delete(sh.inflight, key)
 		}
 		close(nf.done)
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return err
 	}
+}
+
+// writeGroup is the slice of a write's block indices that map to one
+// shard; groups are always visited in ascending shard order (the global
+// lock-ordering rule).
+type writeGroup struct {
+	sh   *shard
+	idxs []int
+}
+
+// groupByShard buckets the blocks [first, first+n) by shard, ascending.
+func (s *Store) groupByShard(server, volume int, first uint64, n int) []writeGroup {
+	if len(s.shards) == 1 {
+		idxs := make([]int, n)
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return []writeGroup{{sh: s.shards[0], idxs: idxs}}
+	}
+	buckets := make([][]int, len(s.shards))
+	for i := 0; i < n; i++ {
+		si := s.shardIndex(block.MakeKey(server, volume, first+uint64(i)))
+		buckets[si] = append(buckets[si], i)
+	}
+	groups := make([]writeGroup, 0, len(s.shards))
+	for si, idxs := range buckets {
+		if len(idxs) > 0 {
+			groups = append(groups, writeGroup{sh: s.shards[si], idxs: idxs})
+		}
+	}
+	return groups
 }
 
 // WriteAt writes p through to the backend, updating cached blocks in place
 // and offering missing blocks to the sieve.
 //
-// The backend write happens without the store lock. The written key range
-// is reserved in the in-flight table first, which (a) serializes
-// overlapping writes so backend order and cache order cannot invert, and
-// (b) lets concurrent read misses on these keys coalesce onto the written
-// data instead of racing the write with a backend fetch.
+// The backend write happens without any shard lock. The written key range
+// is reserved in the shards' in-flight tables first — shard groups in
+// ascending index order, all-or-nothing within each shard — which (a)
+// serializes overlapping writes so backend order and cache order cannot
+// invert, and (b) lets concurrent read misses on these keys coalesce onto
+// the written data instead of racing the write with a backend fetch.
 func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 	if err := checkIO(p, off); err != nil {
 		return err
@@ -547,186 +719,152 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 		start := time.Now()
 		defer func() { s.latWrite.Observe(time.Since(start), err != nil) }()
 	}
-	nBlocks := len(p) / block.Size
-	first := off / block.Size
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	s.rotateIfDue()
-	if s.closed { // rotateIfDue may release the lock; Close may have run
-		s.mu.Unlock()
+	s.maybeRotate()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	now := s.now()
+	nBlocks := len(p) / block.Size
+	first := off / block.Size
 	s.logAccess(server, volume, first, nBlocks)
-	s.stats.Writes += int64(nBlocks)
-	flights, rerr := s.reserveRangeLocked(server, volume, first, nBlocks)
-	if rerr != nil {
-		s.mu.Unlock()
-		return rerr
+
+	groups := s.groupByShard(server, volume, first, nBlocks)
+	flights := make([]*flight, nBlocks)
+	for gi, g := range groups {
+		g.sh.mu.Lock()
+		g.sh.stats.Writes += int64(len(g.idxs))
+		fs, rerr := g.sh.reserveLocked(server, volume, first, g.idxs)
+		if rerr != nil {
+			g.sh.mu.Unlock()
+			// Release the reservations already held in earlier shards.
+			for _, pg := range groups[:gi] {
+				pg.sh.mu.Lock()
+				pg.sh.completeLocked(server, volume, first, pg.idxs, flights, nil, rerr)
+				pg.sh.mu.Unlock()
+			}
+			return rerr
+		}
+		for k, i := range g.idxs {
+			flights[i] = fs[k]
+		}
+		g.sh.mu.Unlock()
 	}
 
 	if !s.opts.WriteBack {
 		// Write-through: the backend is always authoritative. Write it
-		// first (unlocked), then fold the data into the cache.
-		s.mu.Unlock()
+		// first (unlocked), then fold the data into the cache shard by
+		// shard.
 		werr := s.backend.WriteAt(server, volume, p, off)
-		s.mu.Lock()
-		if werr == nil {
-			s.stats.BackendWrites++
-			s.stats.BackendBytesWritten += int64(len(p))
-			for i := 0; i < nBlocks; i++ {
-				if flights[i].stale || s.closed {
-					continue // invalidated (or store closed) mid-write
+		for gi, g := range groups {
+			g.sh.mu.Lock()
+			if werr == nil {
+				if gi == 0 {
+					g.sh.stats.BackendWrites++
+					g.sh.stats.BackendBytesWritten += int64(len(p))
 				}
-				key := block.MakeKey(server, volume, first+uint64(i))
-				data := p[i*block.Size : (i+1)*block.Size]
-				if s.tags.Touch(key) {
-					copy(s.frames[key], data)
-					s.stats.WriteHits++
-					continue
+				for _, i := range g.idxs {
+					if flights[i].stale || s.closed.Load() {
+						continue // invalidated (or store closed) mid-write
+					}
+					key := block.MakeKey(server, volume, first+uint64(i))
+					data := p[i*block.Size : (i+1)*block.Size]
+					if g.sh.tags.Touch(key) {
+						copy(g.sh.frames[key], data)
+						g.sh.stats.WriteHits++
+						continue
+					}
+					g.sh.maybeAdmit(key, data, block.Write, now, false)
 				}
-				s.maybeAdmit(key, data, block.Write, now, false)
 			}
+			g.sh.completeLocked(server, volume, first, g.idxs, flights, p, werr)
+			g.sh.mu.Unlock()
 		}
-		s.completeRangeLocked(server, volume, first, flights, p, werr)
-		s.mu.Unlock()
 		return werr
 	}
 
 	// Write-back: cached (and newly admitted) blocks absorb the write and
-	// are marked dirty; only the remaining runs reach the backend now.
-	type run struct{ start, n int }
-	var through []run
-	for i := 0; i < nBlocks; i++ {
-		key := block.MakeKey(server, volume, first+uint64(i))
-		data := p[i*block.Size : (i+1)*block.Size]
-		if s.tags.Touch(key) {
-			copy(s.frames[key], data)
-			s.dirty[key] = true
-			s.stats.WriteHits++
-			continue
+	// are marked dirty; only the remaining blocks reach the backend now.
+	// A block whose reservation went stale (invalidated between our
+	// reservation and this pass), or a store closed meanwhile (Close may
+	// already have drained this shard), must not park dirty data in the
+	// cache: it writes through instead.
+	through := make([]bool, nBlocks)
+	for _, g := range groups {
+		g.sh.mu.Lock()
+		for _, i := range g.idxs {
+			if flights[i].stale || s.closed.Load() {
+				through[i] = true
+				continue
+			}
+			key := block.MakeKey(server, volume, first+uint64(i))
+			data := p[i*block.Size : (i+1)*block.Size]
+			if g.sh.tags.Touch(key) {
+				copy(g.sh.frames[key], data)
+				g.sh.dirty[key] = true
+				g.sh.stats.WriteHits++
+				continue
+			}
+			if g.sh.tryAdmit(key, data, block.Write, now, true) {
+				continue
+			}
+			through[i] = true
 		}
-		if s.tryAdmit(key, data, block.Write, now, true) {
-			continue
-		}
-		if n := len(through); n > 0 && through[n-1].start+through[n-1].n == i {
-			through[n-1].n++
-		} else {
-			through = append(through, run{start: i, n: 1})
-		}
+		g.sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 
 	var werr error
 	var nWrites, nBytes int64
-	for _, r := range through {
-		buf := p[r.start*block.Size : (r.start+r.n)*block.Size]
-		if werr = s.backend.WriteAt(server, volume, buf, off+uint64(r.start)*block.Size); werr != nil {
-			break
+	for i := 0; i < nBlocks && werr == nil; {
+		if !through[i] {
+			i++
+			continue
 		}
-		nWrites++
-		nBytes += int64(len(buf))
+		j := i + 1
+		for j < nBlocks && through[j] {
+			j++
+		}
+		buf := p[i*block.Size : j*block.Size]
+		if werr = s.backend.WriteAt(server, volume, buf, off+uint64(i)*block.Size); werr == nil {
+			nWrites++
+			nBytes += int64(len(buf))
+		}
+		i = j
 	}
-	s.mu.Lock()
-	s.stats.BackendWrites += nWrites
-	s.stats.BackendBytesWritten += nBytes
-	s.completeRangeLocked(server, volume, first, flights, p, werr)
-	s.mu.Unlock()
+	for gi, g := range groups {
+		g.sh.mu.Lock()
+		if gi == 0 {
+			g.sh.stats.BackendWrites += nWrites
+			g.sh.stats.BackendBytesWritten += nBytes
+		}
+		g.sh.completeLocked(server, volume, first, g.idxs, flights, p, werr)
+		g.sh.mu.Unlock()
+	}
 	return werr
 }
 
-// reserveRangeLocked claims every key in [first, first+n) in the in-flight
-// table for a write. Acquisition is all-or-nothing: if any key is already
-// claimed (a miss fetch or another write), the lock is dropped and the
-// caller waits for that flight with no reservations of its own held, then
-// retries — so reservation can never deadlock. Callers must hold s.mu; it
-// may be released and re-acquired.
-func (s *Store) reserveRangeLocked(server, volume int, first uint64, n int) ([]*flight, error) {
-	for {
-		var conflict *flight
-		for i := 0; i < n; i++ {
-			if f, ok := s.inflight[block.MakeKey(server, volume, first+uint64(i))]; ok {
-				conflict = f
-				break
-			}
-		}
-		if conflict == nil {
-			break
-		}
-		s.mu.Unlock()
-		<-conflict.done
-		s.mu.Lock()
-		if s.closed {
-			return nil, ErrClosed
-		}
-	}
-	flights := make([]*flight, n)
-	for i := range flights {
-		f := &flight{done: make(chan struct{}), isWrite: true}
-		s.inflight[block.MakeKey(server, volume, first+uint64(i))] = f
-		flights[i] = f
-	}
-	return flights, nil
-}
-
-// completeRangeLocked publishes a write's outcome to any coalesced readers
-// and releases the reservation. p is the written payload (nil when the
-// operation failed before producing data); err is propagated to waiters.
-func (s *Store) completeRangeLocked(server, volume int, first uint64, flights []*flight, p []byte, err error) {
-	for i, f := range flights {
-		key := block.MakeKey(server, volume, first+uint64(i))
-		if err != nil {
-			f.err = err
-		} else {
-			if f.waiters > 0 && p != nil {
-				f.data = append([]byte(nil), p[i*block.Size:(i+1)*block.Size]...)
-			}
-			// A write landing while an epoch transition is staging has
-			// newer data than the transition's batch fetch: tell the swap
-			// not to install its copy of this block.
-			if s.rotating {
-				s.rotSkip[key] = true
-			}
-		}
-		if s.inflight[key] == f {
-			delete(s.inflight, key)
-		}
-		close(f.done)
-	}
-}
-
-// staleFetchFlightsLocked detaches every in-flight *fetch* and marks it
-// stale. Called by bulk cache replacements (epoch swap, snapshot load) so
-// that fetches completing afterwards cannot install pre-replacement
-// frames. Write reservations stay attached: a write completing after the
-// replacement carries newer data than anything fetched or snapshotted and
-// must still fold it into the cache.
-func (s *Store) staleFetchFlightsLocked() {
-	for key, f := range s.inflight {
-		if f.isWrite {
-			continue
-		}
-		f.stale = true
-		delete(s.inflight, key)
-	}
-}
-
 // Flush writes every currently-dirty block back to the ensemble
-// (write-back mode). The backend I/O is staged: the lock is not held while
-// streaming, so concurrent reads and writes proceed. Blocks whose
-// write-back fails stay dirty and resident and are counted in
-// Stats.FlushErrors; the first error is returned.
+// (write-back mode), shard by shard in ascending order. The backend I/O is
+// staged: no shard lock is held while streaming, so concurrent reads and
+// writes proceed. Blocks whose write-back fails stay dirty and resident
+// and are counted in Stats.FlushErrors; every shard is still visited and
+// the first error is returned.
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	return s.flushStagedLocked(nil)
+	var err error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		ferr := sh.flushStagedLocked(nil)
+		sh.mu.Unlock()
+		if err == nil {
+			err = ferr
+		}
+	}
+	return err
 }
 
 // Bounded parallelism and run sizing for staged transitions (epoch batch
@@ -817,8 +955,8 @@ func forEachRun(runs []keyRun, do func(ri int, r keyRun) error) error {
 }
 
 // fetchBatch reads the given blocks from the ensemble in contiguous
-// multi-block runs with bounded parallelism. It is called WITHOUT the
-// store lock and touches no store state besides the backend; the returned
+// multi-block runs with bounded parallelism. It is called WITHOUT any
+// shard lock and touches no store state besides the backend; the returned
 // frames are freshly allocated, one per key. Partial work on error is
 // reflected in the request/byte counts so the caller can account it.
 func (s *Store) fetchBatch(keys []block.Key) (map[block.Key][]byte, int64, int64, error) {
@@ -860,255 +998,93 @@ func (s *Store) fetchBatch(keys []block.Key) (map[block.Key][]byte, int64, int64
 	return fetched, nReads, nBytes, nil
 }
 
-// flushStagedLocked writes dirty blocks back to the ensemble without
-// holding mu across the backend I/O. only, if non-nil, filters which dirty
-// blocks are flushed. Caller must hold mu; the lock is released and
-// re-acquired. Each victim is reserved as a write flight first (so
-// concurrent writes to it wait and reads coalesce onto the cached data),
-// its frame is copied, and the copies are streamed in contiguous runs with
-// bounded parallelism. Blocks whose write failed stay dirty and are
-// counted in Stats.FlushErrors; the first error is returned.
-//
-// Reservation proceeds in ascending key order while holding earlier
-// reservations. Any two staged flushes therefore acquire in the same
-// global order and cannot deadlock against each other; every other flight
-// owner (read misses, write reservations) completes without waiting on
-// further flights, so waiting here with reservations held is safe.
-func (s *Store) flushStagedLocked(only func(block.Key) bool) error {
-	var victims []block.Key
-	for k := range s.dirty {
-		if only == nil || only(k) {
-			victims = append(victims, k)
-		}
-	}
-	if len(victims) == 0 {
-		return nil
-	}
-	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
-
-	flights := make([]*flight, len(victims))
-	frames := make([][]byte, len(victims))
-	for i := 0; i < len(victims); {
-		k := victims[i]
-		if f, ok := s.inflight[k]; ok {
-			s.mu.Unlock()
-			<-f.done
-			s.mu.Lock()
-			continue // re-check this key
-		}
-		if !s.dirty[k] || s.frames[k] == nil {
-			i++ // flushed or dropped while we waited
-			continue
-		}
-		f := &flight{done: make(chan struct{}), isWrite: true}
-		s.inflight[k] = f
-		flights[i] = f
-		// Copy the frame: Invalidate can flush+recycle it while we stream.
-		frames[i] = append([]byte(nil), s.frames[k]...)
-		i++
-	}
-
-	runs := contiguousRuns(victims, func(i int) bool { return flights[i] != nil })
-	runErr := make([]error, len(runs))
-	ran := make([]bool, len(runs))
-
-	s.mu.Unlock()
-	err := forEachRun(runs, func(ri int, r keyRun) error {
-		ran[ri] = true
-		n := r.hi - r.lo
-		buf := frames[r.lo]
-		if n > 1 {
-			buf = make([]byte, n*block.Size)
-			for i := 0; i < n; i++ {
-				copy(buf[i*block.Size:], frames[r.lo+i])
-			}
-		}
-		k0 := victims[r.lo]
-		if e := s.backend.WriteAt(k0.Server(), k0.Volume(), buf, k0.Offset()); e != nil {
-			runErr[ri] = fmt.Errorf("core: write-back of %v: %w", k0, e)
-			return runErr[ri]
-		}
-		return nil
-	})
-	s.mu.Lock()
-
-	for ri, r := range runs {
-		if !ran[ri] {
-			continue
-		}
-		if runErr[ri] == nil {
-			s.stats.BackendWrites++
-			s.stats.BackendBytesWritten += int64(r.hi-r.lo) * block.Size
-		}
-		for i := r.lo; i < r.hi; i++ {
-			if runErr[ri] == nil {
-				if s.dirty[victims[i]] {
-					delete(s.dirty, victims[i])
-					s.stats.FlushWrites++
-				}
-			} else {
-				s.stats.FlushErrors++
-			}
-		}
-	}
-	for i, k := range victims {
-		f := flights[i]
-		if f == nil {
-			continue
-		}
-		if f.waiters > 0 {
-			// The cache's copy is current regardless of the write-back
-			// outcome: serve coalesced readers from it, never an error.
-			f.data = frames[i]
-		}
-		if s.inflight[k] == f {
-			delete(s.inflight, k)
-		}
-		close(f.done)
-	}
-	return err
-}
-
-// drainDirtyLocked flushes until no dirty blocks remain: a few staged
-// passes (writes may re-dirty blocks while the lock is down), then a final
-// serial pass under the lock — which cannot be raced — for any stragglers.
-func (s *Store) drainDirtyLocked() error {
-	for pass := 0; pass < 4 && len(s.dirty) > 0; pass++ {
-		if err := s.flushStagedLocked(nil); err != nil {
-			return err
-		}
-	}
-	for key := range s.dirty {
-		if err := s.flushBlock(key); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// flushBlock writes one dirty block back and clears its dirty bit.
-func (s *Store) flushBlock(key block.Key) error {
-	frame, ok := s.frames[key]
-	if !ok {
-		delete(s.dirty, key)
-		return nil
-	}
-	if err := s.backend.WriteAt(key.Server(), key.Volume(), frame, key.Offset()); err != nil {
-		return fmt.Errorf("core: write-back of %v: %w", key, err)
-	}
-	s.stats.BackendWrites++
-	s.stats.BackendBytesWritten += block.Size
-	s.stats.FlushWrites++
-	delete(s.dirty, key)
-	return nil
-}
-
 // now returns the injected current time.
 func (s *Store) now() time.Time { return s.opts.Now() }
 
-// logAccess records the access for the offline sieve (VariantD only).
+// testLogHook, when non-nil, runs at the top of logAccess — tests use it
+// to stall the access-logging path and prove the hit path no longer
+// serializes behind it. Set and cleared only while no store operations are
+// running.
+var testLogHook func()
+
+// logAccess records the access for the offline sieve (VariantD only). It
+// runs before any shard lock is taken: the logger's buffered file I/O
+// (including its 64 KiB buffer flushes) must never stall concurrent hits.
 func (s *Store) logAccess(server, volume int, first uint64, nBlocks int) {
 	if s.logger == nil {
 		return
 	}
-	for i := 0; i < nBlocks; i++ {
-		// Logging failures must not fail the I/O path; the worst case is a
-		// slightly stale epoch selection. They are surfaced via Close.
-		_ = s.logger.Log(block.MakeKey(server, volume, first+uint64(i)))
+	if h := testLogHook; h != nil {
+		h()
 	}
+	// Logging failures must not fail the I/O path; the worst case is a
+	// slightly stale epoch selection. They are surfaced via Close.
+	if nBlocks == 1 {
+		_ = s.logger.Log(block.MakeKey(server, volume, first))
+		return
+	}
+	keys := make([]block.Key, nBlocks)
+	for i := range keys {
+		keys[i] = block.MakeKey(server, volume, first+uint64(i))
+	}
+	_ = s.logger.LogBatch(keys)
 }
 
-// maybeAdmit consults the sieve (VariantC) and installs the block on
-// approval. VariantD never admits continuously.
-func (s *Store) maybeAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) {
-	s.tryAdmit(key, data, kind, now, dirty)
+// updateDeadlineLocked recomputes the next epoch boundary after curEpoch
+// advances or the schedule restarts. Caller must hold rotMu.
+func (s *Store) updateDeadlineLocked() {
+	s.deadline.Store(s.start.Add(time.Duration(s.curEpoch+1) * s.opts.Epoch).UnixNano())
 }
 
-// tryAdmit is maybeAdmit reporting whether the block was admitted.
-func (s *Store) tryAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) bool {
-	if s.sieveC == nil {
-		return false
+// maybeRotate rotates VariantD epochs that have elapsed. The hot path
+// pays one atomic deadline load; past the deadline, the rotation runs
+// inline in the triggering caller with no shard lock held across its
+// backend I/O. Callers arriving meanwhile see rotating and proceed
+// without blocking (the in-progress rotation covers the due boundary).
+func (s *Store) maybeRotate() {
+	if s.logger == nil {
+		return
 	}
-	acc := block.Access{Time: now.Sub(s.start).Nanoseconds(), Key: key, Kind: kind}
-	if !s.sieveC.ShouldAllocate(acc) {
-		return false
+	if s.now().UnixNano() < s.deadline.Load() {
+		return
 	}
-	if !s.install(key, data) {
-		return false
-	}
-	if dirty {
-		s.dirty[key] = true
-	}
-	s.stats.AllocWrites++
-	return true
-}
-
-// install copies data into a frame for key, evicting (and, in write-back
-// mode, flushing) the LRU block if full. It reports whether the block was
-// installed: when the dirty victim's write-back fails, the victim stays
-// resident and dirty (its frame holds the only current copy), the failure
-// is counted in Stats.FlushErrors, and the new block is simply not
-// allocated — the caller's own I/O already succeeded and must not be
-// failed by an unrelated block's flush.
-func (s *Store) install(key block.Key, data []byte) bool {
-	if s.tags.Len() >= s.tags.Capacity() && !s.tags.Contains(key) {
-		if victim, ok := s.tags.LRU(); ok && s.dirty[victim] {
-			if err := s.flushBlock(victim); err != nil {
-				s.stats.FlushErrors++
-				return false
-			}
-		}
-	}
-	if victim, evicted := s.tags.Insert(key); evicted {
-		s.stats.Evictions++
-		s.free = append(s.free, s.frames[victim])
-		delete(s.frames, victim)
-	}
-	frame := s.alloc()
-	copy(frame, data)
-	s.frames[key] = frame
-	return true
-}
-
-func (s *Store) alloc() []byte {
-	if n := len(s.free); n > 0 {
-		f := s.free[n-1]
-		s.free = s.free[:n-1]
-		return f
-	}
-	return make([]byte, block.Size)
-}
-
-// rotateIfDue rotates VariantD epochs that have elapsed. The rotation runs
-// inline in the triggering caller but releases the lock across its backend
-// I/O; callers arriving meanwhile see s.rotating and proceed without
-// blocking (the in-progress rotation covers the due boundary).
-func (s *Store) rotateIfDue() {
-	if s.logger == nil || s.rotating {
+	s.rotMu.Lock()
+	if s.rotating || s.closed.Load() {
+		s.rotMu.Unlock()
 		return
 	}
 	for {
 		epoch := int64(s.now().Sub(s.start) / s.opts.Epoch)
 		if s.curEpoch >= epoch {
-			return
+			break
 		}
+		// Advance the schedule before the staged work so concurrent ops'
+		// deadline checks skip this boundary. On an abort the next
+		// boundary (or a manual RotateEpoch) retries with the counts
+		// still accumulating — exactly the unsharded retry schedule.
 		s.curEpoch++
-		if committed, err := s.rotateStaged(); err != nil {
+		s.updateDeadlineLocked()
+		s.rotating = true
+		s.rotMu.Unlock()
+		committed, err := s.rotateStaged()
+		s.rotMu.Lock()
+		s.rotating = false
+		s.rotCond.Broadcast()
+		if err != nil {
 			// An aborted transition touched nothing: the spill logs and
-			// the previous epoch's cache set are intact, and the next
-			// boundary (or a manual RotateEpoch) retries with the counts
-			// still accumulating. A post-commit reset failure is counted
-			// separately (ResetFailures, inside rotateStaged) — the
-			// rotation itself took effect.
+			// the previous epoch's cache set are intact. A post-commit
+			// reset failure is counted separately (ResetFailures, inside
+			// rotateStaged) — the rotation itself took effect.
 			if !committed {
-				s.stats.RotateFailures++
+				s.rotateFailures.Add(1)
 			}
-			return
+			break
 		}
-		if s.closed {
-			return
+		if s.closed.Load() {
+			break
 		}
 	}
+	s.rotMu.Unlock()
 }
 
 // RotateEpoch forces an immediate SieveStore-D epoch boundary: the current
@@ -1120,25 +1096,31 @@ func (s *Store) rotateIfDue() {
 // followed by an automatic one over empty logs, wiping the cache). It is a
 // no-op for VariantC.
 func (s *Store) RotateEpoch() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if s.logger == nil {
 		return nil
 	}
+	s.rotMu.Lock()
 	// Wait out a transition already in progress, then run our own: the
 	// caller asked for a boundary *now*, after whatever was already due.
 	for s.rotating {
 		s.rotCond.Wait()
 	}
-	if s.closed {
+	if s.closed.Load() {
+		s.rotMu.Unlock()
 		return ErrClosed
 	}
+	s.rotating = true
+	s.rotMu.Unlock()
 	committed, err := s.rotateStaged()
+	s.rotMu.Lock()
+	s.rotating = false
+	s.rotCond.Broadcast()
 	if !committed {
-		s.stats.RotateFailures++
+		s.rotateFailures.Add(1)
+		s.rotMu.Unlock()
 		return err
 	}
 	// Restart the schedule: the next automatic rotation is one full Epoch
@@ -1147,39 +1129,64 @@ func (s *Store) RotateEpoch() error {
 	// that error is returned but counted in ResetFailures, not as an abort.
 	s.start = s.now()
 	s.curEpoch = 0
+	s.updateDeadlineLocked()
+	s.rotMu.Unlock()
 	return err
 }
 
-// rotateStaged performs one SieveStore-D epoch transition. Called with mu
-// held; returns with mu held. The transition is staged so the lock is
-// never held across backend I/O — concurrent reads and writes keep being
-// served throughout — and failure-atomic: any error before the final swap
-// leaves both the spill logs and the cache contents exactly as they were
-// (Select does not reset the logs; Reset runs only after the swap
-// commits). committed reports whether the swap took effect: a reset error
-// after the commit is returned with committed true so callers can count it
+// rotateStaged performs one SieveStore-D epoch transition. Called with NO
+// locks held (the caller owns the rotating flag); shard locks are taken
+// per stage, always in ascending shard order, and never held across
+// backend I/O — concurrent reads and writes keep being served throughout.
+// The transition is failure-atomic: any error before the final swap leaves
+// both the spill logs and the cache contents exactly as they were (Select
+// does not reset the logs; Reset runs only after the swap commits).
+// committed reports whether the swap took effect: a reset error after the
+// commit is returned with committed true so callers can count it
 // separately from an abort.
+//
+// With multiple shards the swap itself commits shard by shard: a reader
+// can briefly observe shard i serving the new epoch's set while shard j
+// still serves the old one. Each shard's swap is atomic under its lock,
+// and the paper's semantics (a single global swap) are exact at Shards=1.
 func (s *Store) rotateStaged() (committed bool, err error) {
-	s.rotating = true
-	s.rotSkip = make(map[block.Key]bool)
-	defer func() {
-		s.rotating = false
-		s.rotSkip = nil
-		s.rotCond.Broadcast()
-	}()
+	// Stage 0: arm every shard — from here until its commit (or disarm on
+	// abort), writes and invalidations record skipped keys in rotSkip so
+	// the swap cannot install a fetched copy that their data supersedes.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.rotSkip = make(map[block.Key]bool)
+		sh.mu.Unlock()
+	}
+	disarm := func() {
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			sh.rotSkip = nil
+			sh.mu.Unlock()
+		}
+	}
 
-	// Stage 1: reduce the logs and select the new set — off-lock.
-	s.mu.Unlock()
+	// Stage 1: reduce the logs and select the new set — no locks held.
 	selected, err := s.logger.Select(s.opts.DThreshold)
-	s.mu.Lock()
 	if err != nil {
+		disarm()
 		return false, err
 	}
-	if s.closed {
-		return false, ErrClosed
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.tags.Capacity()
 	}
-	if cap := s.tags.Capacity(); len(selected) > cap {
-		selected = selected[:cap] // Select orders hottest-first
+	if len(selected) > total {
+		selected = selected[:total] // Select orders hottest-first
+	}
+	// Split the selection across shards, preserving hottest-first order
+	// within each; a shard takes at most its own capacity.
+	perShard := make([][]block.Key, len(s.shards))
+	for _, k := range selected {
+		si := s.shardIndex(k)
+		if len(perShard[si]) < s.shards[si].tags.Capacity() {
+			perShard[si] = append(perShard[si], k)
+		}
 	}
 
 	// Stage 2: fetch the selected blocks that are not already resident —
@@ -1187,107 +1194,73 @@ func (s *Store) rotateStaged() (committed bool, err error) {
 	// (Residency only shrinks while rotating: VariantD admits solely at
 	// epoch boundaries, so "need" cannot grow stale the dangerous way.)
 	var need []block.Key
-	for _, k := range selected {
-		if !s.tags.Contains(k) {
-			need = append(need, k)
+	for si, sh := range s.shards {
+		sh.mu.Lock()
+		for _, k := range perShard[si] {
+			if !sh.tags.Contains(k) {
+				need = append(need, k)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	fetched, nReads, nBytes, err := s.fetchBatch(need)
-	s.mu.Lock()
-	s.stats.BackendReads += nReads
-	s.stats.BackendBytesRead += nBytes
+	if nReads > 0 || nBytes > 0 {
+		sh0 := s.shards[0]
+		sh0.mu.Lock()
+		sh0.stats.BackendReads += nReads
+		sh0.stats.BackendBytesRead += nBytes
+		sh0.mu.Unlock()
+	}
 	if err != nil {
+		disarm()
 		return false, err
 	}
-	if s.closed {
+	if s.closed.Load() {
+		disarm()
 		return false, ErrClosed
 	}
 
 	// Stage 3: write back dirty blocks the swap would evict — staged like
-	// Flush, and aborting the rotation on failure (evicting them unflushed
-	// would lose data; flushing under the lock is what we are removing).
+	// Flush, shard by shard ascending, and aborting the rotation on
+	// failure (evicting them unflushed would lose data).
 	inNew := make(map[block.Key]bool, len(selected))
-	for _, k := range selected {
-		inNew[k] = true
+	for si := range s.shards {
+		for _, k := range perShard[si] {
+			inNew[k] = true
+		}
 	}
-	if err := s.flushStagedLocked(func(k block.Key) bool { return !inNew[k] }); err != nil {
-		return false, err
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		ferr := sh.flushStagedLocked(func(k block.Key) bool { return !inNew[k] })
+		sh.mu.Unlock()
+		if ferr != nil {
+			disarm()
+			return false, ferr
+		}
 	}
-	if s.closed {
+	if s.closed.Load() {
+		disarm()
 		return false, ErrClosed
 	}
 
-	// Stage 4: commit — all under the lock, no backend I/O. Fetches still
-	// in the air predate the new epoch and must not install; write
-	// reservations stay attached (their data is newer than our batch).
-	s.staleFetchFlightsLocked()
-	// A write reservation still pending at commit may already have sent its
-	// data to the backend — after our batch fetch read the old contents —
-	// without yet re-acquiring mu to mark rotSkip itself. Write-back
-	// through-writes never fold their data into the cache afterwards, so
-	// installing our fetched copy would serve stale data until the next
-	// epoch: treat the key as skipped now.
-	for k, f := range s.inflight {
-		if f.isWrite {
-			s.rotSkip[k] = true
-		}
+	// Stage 4: commit — each shard swaps under its own lock, no backend
+	// I/O, ascending order.
+	for si, sh := range s.shards {
+		sh.mu.Lock()
+		sh.commitEpochLocked(perShard[si], fetched)
+		sh.mu.Unlock()
 	}
-	// Blocks still dirty at commit (re-dirtied while the lock was down)
-	// can never be evicted unflushed: retain them into the new epoch,
-	// giving up the cold tail of the selection if capacity demands it.
-	var forced []block.Key
-	for k := range s.dirty {
-		forced = append(forced, k)
-	}
-	sort.Slice(forced, func(i, j int) bool { return forced[i] < forced[j] })
-	final := make([]block.Key, 0, len(selected)+len(forced))
-	inFinal := make(map[block.Key]bool, cap(final))
-	for _, k := range forced {
-		final = append(final, k)
-		inFinal[k] = true
-	}
-	for _, k := range selected {
-		if len(final) >= s.tags.Capacity() {
-			break
-		}
-		if inFinal[k] {
-			continue
-		}
-		if s.frames[k] == nil && (fetched[k] == nil || s.rotSkip[k]) {
-			// Not resident and nothing trustworthy fetched (written or
-			// invalidated during the transition): leave it out; a later
-			// epoch can re-select it.
-			continue
-		}
-		final = append(final, k)
-		inFinal[k] = true
-	}
-	_, evicted := s.tags.Swap(final)
-	for _, k := range evicted {
-		s.free = append(s.free, s.frames[k])
-		delete(s.frames, k)
-		s.stats.Evictions++
-	}
-	for _, k := range final {
-		if s.frames[k] == nil {
-			s.frames[k] = fetched[k]
-			s.stats.EpochMoves++
-		}
-	}
-	s.stats.Epochs++
+	s.epochs.Add(1)
 
-	// Stage 5: reset the logs — off-lock again (the logger is safe for
-	// concurrent use, and accesses logged since Select carry into the new
-	// epoch). The swap is already committed; a reset failure is surfaced
-	// but no longer rolls anything back — the rotation itself took effect
-	// (counted in Epochs, not RotateFailures), and tuples in partitions the
-	// reset could not clear double-count into the next epoch's selection.
-	s.mu.Unlock()
-	rerr := s.logger.Reset()
-	s.mu.Lock()
-	if rerr != nil {
-		s.stats.ResetFailures++
+	// Stage 5: reset the logs — no locks held again (the logger is safe
+	// for concurrent use, and accesses logged since Select carry into the
+	// new epoch). The swap is already committed; a reset failure is
+	// surfaced but no longer rolls anything back — the rotation itself
+	// took effect (counted in Epochs, not RotateFailures), and tuples in
+	// partitions the reset could not clear double-count into the next
+	// epoch's selection.
+	if rerr := s.logger.Reset(); rerr != nil {
+		s.resetFailures.Add(1)
 		return true, fmt.Errorf("core: epoch log reset: %w", rerr)
 	}
 	return true, nil
@@ -1295,9 +1268,11 @@ func (s *Store) rotateStaged() (committed bool, err error) {
 
 // Contains reports whether a block is currently cached (test/debug aid).
 func (s *Store) Contains(server, volume int, off uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tags.Contains(block.MakeKey(server, volume, off/block.Size))
+	key := block.MakeKey(server, volume, off/block.Size)
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tags.Contains(key)
 }
 
 // Invalidate drops any cached blocks overlapping [off, off+length) of the
@@ -1308,41 +1283,44 @@ func (s *Store) Invalidate(server, volume int, off uint64, length int) (int, err
 	if off%block.Size != 0 || length%block.Size != 0 || length <= 0 {
 		return 0, ErrAlignment
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
 	first := off / block.Size
 	dropped := 0
-	for i := 0; i < length/block.Size; i++ {
-		key := block.MakeKey(server, volume, first+uint64(i))
-		// A fetch or write in flight for this key would re-install data
-		// from before the invalidation: mark it stale so its owner skips
-		// the install, and detach it so later misses fetch fresh.
-		if f, ok := s.inflight[key]; ok {
-			f.stale = true
-			delete(s.inflight, key)
-		}
-		// An epoch transition staging right now may have fetched this
-		// block already; its swap must not resurrect invalidated data.
-		if s.rotating {
-			s.rotSkip[key] = true
-		}
-		if !s.tags.Contains(key) {
-			continue
-		}
-		// A dirty block holds the only current copy: write it back before
-		// dropping, or the data would be lost.
-		if s.dirty[key] {
-			if err := s.flushBlock(key); err != nil {
-				return dropped, err
+	for _, g := range s.groupByShard(server, volume, first, length/block.Size) {
+		g.sh.mu.Lock()
+		for _, i := range g.idxs {
+			key := block.MakeKey(server, volume, first+uint64(i))
+			// A fetch or write in flight for this key would re-install data
+			// from before the invalidation: mark it stale so its owner skips
+			// the install, and detach it so later misses fetch fresh.
+			if f, ok := g.sh.inflight[key]; ok {
+				f.stale = true
+				delete(g.sh.inflight, key)
 			}
+			// An epoch transition staging right now may have fetched this
+			// block already; its swap must not resurrect invalidated data.
+			if g.sh.rotSkip != nil {
+				g.sh.rotSkip[key] = true
+			}
+			if !g.sh.tags.Contains(key) {
+				continue
+			}
+			// A dirty block holds the only current copy: write it back
+			// before dropping, or the data would be lost.
+			if g.sh.dirty[key] {
+				if err := g.sh.flushBlock(key); err != nil {
+					g.sh.mu.Unlock()
+					return dropped, err
+				}
+			}
+			g.sh.tags.Remove(key)
+			g.sh.free = append(g.sh.free, g.sh.frames[key])
+			delete(g.sh.frames, key)
+			dropped++
 		}
-		s.tags.Remove(key)
-		s.free = append(s.free, s.frames[key])
-		delete(s.frames, key)
-		dropped++
+		g.sh.mu.Unlock()
 	}
 	return dropped, nil
 }

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/block"
 )
@@ -31,39 +32,50 @@ const DefaultThreshold = 10
 // DefaultPartitions is the default number of hash partitions R.
 const DefaultPartitions = 16
 
+// errClosed is returned by operations on a closed Logger.
+var errClosed = fmt.Errorf("sieved: logger is closed")
+
+// partition is one hash partition of the access log: an append-only spill
+// file with its own mutex, so concurrent loggers hashing to different
+// partitions never contend. Keys hash to partitions with the same 64-bit
+// avalanche mix core.Store hashes shards with — when the partition count
+// is a multiple of the shard count, each partition holds keys of exactly
+// one shard.
+type partition struct {
+	// rewrite serializes whole-file rewrites (Compact, Reset, salvage)
+	// against the readers that run without mu (Select, Counts): mu alone
+	// only excludes appends, not the read window, and a rewrite truncates
+	// the inode the reader is positioned in. Lock order: mu, then rewrite.
+	rewrite sync.RWMutex
+
+	mu sync.Mutex
+	w  *bufio.Writer
+	f  *os.File
+	// tuples counts the live tuples (for compaction bookkeeping and tests).
+	tuples int64
+	// mark records the file offset up to which the most recent Select
+	// reduced the log (-1: no Select pending). Reset keeps the tuples
+	// appended past the mark — accesses logged while an epoch transition
+	// was in flight count toward the next epoch instead of being dropped.
+	mark int64
+}
+
 // Logger is the access log: R append-only partition files of
 // <address, count> tuples.
 //
-// Logger is safe for concurrent use. In particular Select may reduce the
-// epoch's logs while other goroutines keep appending: the reduction covers
-// exactly the tuples flushed at its start, and appends that race it are
-// preserved for the next epoch by the matching Reset. Whole-file rewrites
-// (Compact, Reset) are serialized against the lock-free partition readers
-// by a per-partition rewrite lock, so a reduction racing them sees either
-// the old or the new file contents, never a torn read.
+// Logger is safe for concurrent use, and appends to distinct partitions
+// proceed in parallel (each partition has its own lock). In particular
+// Select may reduce the epoch's logs while other goroutines keep
+// appending: the reduction covers exactly the tuples flushed at its
+// start, and appends that race it are preserved for the next epoch by the
+// matching Reset. Whole-file rewrites (Compact, Reset) are serialized
+// against the lock-free partition readers by a per-partition rewrite
+// lock, so a reduction racing them sees either the old or the new file
+// contents, never a torn read.
 type Logger struct {
-	dir        string
-	partitions int
-
-	// rewrite serializes whole-file partition rewrites against the readers
-	// that run without l.mu (Select, Counts): l.mu alone only excludes
-	// appends, not the read window, and a rewrite truncates the inode the
-	// reader is positioned in.
-	rewrite []sync.RWMutex
-
-	mu      sync.Mutex
-	writers []*bufio.Writer
-	files   []*os.File
-	// tuples counts the live tuples per partition (for compaction
-	// bookkeeping and tests).
-	tuples []int64
-	// marks records, per partition, the file offset up to which the most
-	// recent Select reduced the log (-1: no Select pending). Reset keeps
-	// the tuples appended past the mark — accesses logged while an epoch
-	// transition was in flight count toward the next epoch instead of
-	// being dropped.
-	marks  []int64
-	closed bool
+	dir    string
+	parts  []*partition
+	closed atomic.Bool
 }
 
 // NewLogger creates a logger with the given partition count, writing spill
@@ -87,16 +99,7 @@ func makeLogger(dir string, partitions int, resume bool) (*Logger, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sieved: %w", err)
 	}
-	l := &Logger{
-		dir:        dir,
-		partitions: partitions,
-		rewrite:    make([]sync.RWMutex, partitions),
-		tuples:     make([]int64, partitions),
-		marks:      make([]int64, partitions),
-	}
-	for p := range l.marks {
-		l.marks[p] = -1
-	}
+	l := &Logger{dir: dir}
 	for p := 0; p < partitions; p++ {
 		flags := os.O_RDWR | os.O_CREATE | os.O_TRUNC
 		if resume {
@@ -107,28 +110,29 @@ func makeLogger(dir string, partitions int, resume bool) (*Logger, error) {
 			l.Close()
 			return nil, fmt.Errorf("sieved: %w", err)
 		}
-		l.files = append(l.files, f)
-		l.writers = append(l.writers, bufio.NewWriterSize(f, 1<<16))
+		l.parts = append(l.parts, &partition{
+			f:    f,
+			w:    bufio.NewWriterSize(f, 1<<16),
+			mark: -1,
+		})
 	}
 	if resume {
 		// Salvage each partition: reduce whatever decodes cleanly and
 		// rewrite the file, dropping a torn final tuple left by a crash
 		// mid-write. Afterwards every partition is compact and valid.
-		l.mu.Lock()
-		for p := 0; p < partitions; p++ {
+		for p := range l.parts {
+			part := l.parts[p]
+			part.mu.Lock()
 			salvaged, err := l.readPartitionLocked(p, true)
-			if err != nil {
-				l.mu.Unlock()
-				l.Close()
-				return nil, err
+			if err == nil {
+				err = l.rewritePartitionLocked(p, salvaged)
 			}
-			if err := l.rewritePartitionLocked(p, salvaged); err != nil {
-				l.mu.Unlock()
+			part.mu.Unlock()
+			if err != nil {
 				l.Close()
 				return nil, err
 			}
 		}
-		l.mu.Unlock()
 	}
 	return l, nil
 }
@@ -137,55 +141,107 @@ func (l *Logger) partitionPath(p int) string {
 	return filepath.Join(l.dir, fmt.Sprintf("part-%04d.log", p))
 }
 
-// partition selects the spill file for a key (the paper's hash function on
-// the address).
-func (l *Logger) partition(key block.Key) int {
+// partitionIndex selects the spill file for a key (the paper's hash
+// function on the address).
+func (l *Logger) partitionIndex(key block.Key) int {
 	x := uint64(key)
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
 	x ^= x >> 33
-	return int(x % uint64(l.partitions))
+	return int(x % uint64(len(l.parts)))
 }
 
 // Log appends an <address, 1> tuple for key.
 func (l *Logger) Log(key block.Key) error { return l.logTuple(key, 1) }
 
+// LogBatch appends an <address, 1> tuple for every key, taking each
+// touched partition's lock once. Order within a partition is irrelevant
+// (the reduction sums counts), so keys are grouped by partition first.
+func (l *Logger) LogBatch(keys []block.Key) error {
+	switch len(keys) {
+	case 0:
+		return nil
+	case 1:
+		return l.logTuple(keys[0], 1)
+	}
+	if l.closed.Load() {
+		return errClosed
+	}
+	type kp struct {
+		key block.Key
+		p   int
+	}
+	idx := make([]kp, len(keys))
+	for i, k := range keys {
+		idx[i] = kp{key: k, p: l.partitionIndex(k)}
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i].p < idx[j].p })
+	for i := 0; i < len(idx); {
+		p := idx[i].p
+		part := l.parts[p]
+		part.mu.Lock()
+		if l.closed.Load() {
+			part.mu.Unlock()
+			return errClosed
+		}
+		for ; i < len(idx) && idx[i].p == p; i++ {
+			if err := l.appendLocked(part, idx[i].key, 1); err != nil {
+				part.mu.Unlock()
+				return err
+			}
+		}
+		part.mu.Unlock()
+	}
+	return nil
+}
+
 // LogRequest logs every block the request touches.
 func (l *Logger) LogRequest(req *block.Request) error {
 	n := req.Blocks()
 	first := req.Offset / block.Size
-	for i := 0; i < n; i++ {
-		if err := l.Log(block.MakeKey(req.Server, req.Volume, first+uint64(i))); err != nil {
-			return err
-		}
+	if n == 1 {
+		return l.Log(block.MakeKey(req.Server, req.Volume, first))
 	}
+	keys := make([]block.Key, n)
+	for i := range keys {
+		keys[i] = block.MakeKey(req.Server, req.Volume, first+uint64(i))
+	}
+	return l.LogBatch(keys)
+}
+
+// appendLocked encodes one tuple into partition part's write buffer.
+// Caller must hold part.mu.
+func (l *Logger) appendLocked(part *partition, key block.Key, count int64) error {
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(key))
+	n += binary.PutUvarint(buf[n:], uint64(count))
+	if _, err := part.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	part.tuples++
 	return nil
 }
 
 func (l *Logger) logTuple(key block.Key, count int64) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return fmt.Errorf("sieved: logger is closed")
+	if l.closed.Load() {
+		return errClosed
 	}
-	p := l.partition(key)
-	var buf [2 * binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], uint64(key))
-	n += binary.PutUvarint(buf[n:], uint64(count))
-	if _, err := l.writers[p].Write(buf[:n]); err != nil {
-		return err
+	part := l.parts[l.partitionIndex(key)]
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	if l.closed.Load() {
+		return errClosed
 	}
-	l.tuples[p]++
-	return nil
+	return l.appendLocked(part, key, count)
 }
 
 // TupleCount returns the total number of live tuples across partitions.
 func (l *Logger) TupleCount() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	var total int64
-	for _, n := range l.tuples {
-		total += n
+	for _, part := range l.parts {
+		part.mu.Lock()
+		total += part.tuples
+		part.mu.Unlock()
 	}
 	return total
 }
@@ -198,15 +254,16 @@ type tuple struct {
 
 // flushPartitionLocked flushes partition p's write buffer and returns the
 // resulting file size — a tuple boundary, since every append happens in
-// full under l.mu. Callers must hold l.mu.
+// full under the partition lock. Callers must hold the partition's mu.
 func (l *Logger) flushPartitionLocked(p int) (int64, error) {
-	if l.closed {
-		return 0, fmt.Errorf("sieved: logger is closed")
+	if l.closed.Load() {
+		return 0, errClosed
 	}
-	if err := l.writers[p].Flush(); err != nil {
+	part := l.parts[p]
+	if err := part.w.Flush(); err != nil {
 		return 0, err
 	}
-	fi, err := l.files[p].Stat()
+	fi, err := part.f.Stat()
 	if err != nil {
 		return 0, err
 	}
@@ -218,12 +275,13 @@ func (l *Logger) flushPartitionLocked(p int) (int64, error) {
 // contiguous runs of the same address are summed — the paper's sort +
 // run-length reduction. The range must start and end on tuple boundaries
 // (salvage mode instead drops a torn trailing tuple). It opens the file
-// independently and runs without l.mu — appends beyond `to` are invisible
-// and harmless — but holds the partition's rewrite lock (shared) so a
-// concurrent Compact or Reset cannot truncate the file mid-read.
+// independently and runs without the partition's mu — appends beyond `to`
+// are invisible and harmless — but holds the partition's rewrite lock
+// (shared) so a concurrent Compact or Reset cannot truncate the file
+// mid-read.
 func (l *Logger) readPartitionRange(p int, from, to int64, salvage bool) ([]tuple, error) {
-	l.rewrite[p].RLock()
-	defer l.rewrite[p].RUnlock()
+	l.parts[p].rewrite.RLock()
+	defer l.parts[p].rewrite.RUnlock()
 	f, err := os.Open(l.partitionPath(p))
 	if err != nil {
 		return nil, err
@@ -267,7 +325,7 @@ func (l *Logger) readPartitionRange(p int, from, to int64, salvage bool) ([]tupl
 	return out, nil
 }
 
-// readPartitionLocked flushes and reduces all of partition p under l.mu.
+// readPartitionLocked flushes and reduces all of partition p under its mu.
 func (l *Logger) readPartitionLocked(p int, salvage bool) ([]tuple, error) {
 	size, err := l.flushPartitionLocked(p)
 	if err != nil {
@@ -281,56 +339,55 @@ func (l *Logger) readPartitionLocked(p int, salvage bool) ([]tuple, error) {
 // without losing counts. It may be called at any time between epochs; a
 // pending Select mark is invalidated (the next Reset clears everything).
 func (l *Logger) Compact() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for p := 0; p < l.partitions; p++ {
+	for p := range l.parts {
+		part := l.parts[p]
+		part.mu.Lock()
 		reduced, err := l.readPartitionLocked(p, false)
+		if err == nil {
+			err = l.rewritePartitionLocked(p, reduced)
+		}
 		if err != nil {
+			part.mu.Unlock()
 			return err
 		}
-		if err := l.rewritePartitionLocked(p, reduced); err != nil {
-			return err
-		}
-		l.marks[p] = -1
+		part.mark = -1
+		part.mu.Unlock()
 	}
 	return nil
 }
 
 // rewritePartitionLocked replaces partition p's file with the given
-// tuples. Callers must hold l.mu; the partition's rewrite lock (acquired
-// here, after l.mu — always in that order) excludes the lock-free readers
-// for the duration of the truncate-and-rewrite.
+// tuples. Callers must hold the partition's mu; the partition's rewrite
+// lock (acquired here, after mu — always in that order) excludes the
+// lock-free readers for the duration of the truncate-and-rewrite.
 func (l *Logger) rewritePartitionLocked(p int, tuples []tuple) error {
-	l.rewrite[p].Lock()
-	defer l.rewrite[p].Unlock()
+	part := l.parts[p]
+	part.rewrite.Lock()
+	defer part.rewrite.Unlock()
 	f, err := os.Create(l.partitionPath(p))
 	if err != nil {
 		return err
 	}
-	l.files[p].Close()
-	l.files[p] = f
-	l.writers[p] = bufio.NewWriterSize(f, 1<<16)
-	l.tuples[p] = 0
+	part.f.Close()
+	part.f = f
+	part.w = bufio.NewWriterSize(f, 1<<16)
+	part.tuples = 0
 	for _, t := range tuples {
-		var buf [2 * binary.MaxVarintLen64]byte
-		n := binary.PutUvarint(buf[:], uint64(t.key))
-		n += binary.PutUvarint(buf[n:], uint64(t.count))
-		if _, err := l.writers[p].Write(buf[:n]); err != nil {
+		if err := l.appendLocked(part, t.key, t.count); err != nil {
 			return err
 		}
-		l.tuples[p]++
 	}
-	return l.writers[p].Flush()
+	return part.w.Flush()
 }
 
 // Counts runs the full reduction and calls fn for every (address, count)
 // pair of the current epoch, in no particular order. Tuples appended
 // concurrently with the call may or may not be included.
 func (l *Logger) Counts(fn func(key block.Key, count int64)) error {
-	for p := 0; p < l.partitions; p++ {
-		l.mu.Lock()
+	for p := range l.parts {
+		l.parts[p].mu.Lock()
 		size, err := l.flushPartitionLocked(p)
-		l.mu.Unlock()
+		l.parts[p].mu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -353,15 +410,16 @@ func (l *Logger) Counts(fn func(key block.Key, count int64)) error {
 //
 // Logging may continue concurrently: the selection covers exactly the
 // tuples flushed when each partition is visited, and a mark is recorded so
-// the matching Reset carries later appends into the next epoch. l.mu is
-// held only for the per-partition flush, never across file reads, so the
-// hot logging path is not blocked behind the reduction.
+// the matching Reset carries later appends into the next epoch. Each
+// partition's lock is held only for its flush, never across file reads,
+// so the hot logging path is not blocked behind the reduction.
 func (l *Logger) Select(threshold int64) ([]block.Key, error) {
 	var selected []tuple
-	for p := 0; p < l.partitions; p++ {
-		l.mu.Lock()
+	for p := range l.parts {
+		part := l.parts[p]
+		part.mu.Lock()
 		size, err := l.flushPartitionLocked(p)
-		l.mu.Unlock()
+		part.mu.Unlock()
 		if err != nil {
 			return nil, err
 		}
@@ -369,9 +427,9 @@ func (l *Logger) Select(threshold int64) ([]block.Key, error) {
 		if err != nil {
 			return nil, err
 		}
-		l.mu.Lock()
-		l.marks[p] = size
-		l.mu.Unlock()
+		part.mu.Lock()
+		part.mark = size
+		part.mu.Unlock()
 		for _, t := range reduced {
 			if t.count >= threshold {
 				selected = append(selected, t)
@@ -404,27 +462,31 @@ func (l *Logger) Select(threshold int64) ([]block.Key, error) {
 // rewrite failed has its mark cleared, since the file's contents are no
 // longer what the mark was measured against.
 func (l *Logger) Reset() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return fmt.Errorf("sieved: logger is closed")
+	if l.closed.Load() {
+		return errClosed
 	}
 	var first error
-	for p := 0; p < l.partitions; p++ {
+	for p := range l.parts {
+		part := l.parts[p]
+		part.mu.Lock()
 		var tail []tuple
-		if mark := l.marks[p]; mark >= 0 {
+		if mark := part.mark; mark >= 0 {
 			size, err := l.flushPartitionLocked(p)
 			if err != nil {
 				if first == nil {
 					first = err
 				}
+				part.mu.Unlock()
 				continue
 			}
 			if size > mark {
+				// Read the tail under the partition lock so no append can
+				// land between the read and the rewrite and be lost.
 				if tail, err = l.readPartitionRange(p, mark, size, false); err != nil {
 					if first == nil {
 						first = err
 					}
+					part.mu.Unlock()
 					continue
 				}
 			}
@@ -434,7 +496,8 @@ func (l *Logger) Reset() error {
 				first = err
 			}
 		}
-		l.marks[p] = -1
+		part.mark = -1
+		part.mu.Unlock()
 	}
 	return first
 }
@@ -458,20 +521,19 @@ func (l *Logger) EndEpoch(threshold int64) ([]block.Key, error) {
 // Close flushes and closes all partitions. The spill files remain on disk
 // (the caller owns the directory).
 func (l *Logger) Close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
+	if l.closed.Swap(true) {
 		return nil
 	}
-	l.closed = true
 	var first error
-	for p, w := range l.writers {
-		if err := w.Flush(); err != nil && first == nil {
+	for _, part := range l.parts {
+		part.mu.Lock()
+		if err := part.w.Flush(); err != nil && first == nil {
 			first = err
 		}
-		if err := l.files[p].Close(); err != nil && first == nil {
+		if err := part.f.Close(); err != nil && first == nil {
 			first = err
 		}
+		part.mu.Unlock()
 	}
 	return first
 }

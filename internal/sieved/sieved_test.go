@@ -396,3 +396,77 @@ func TestCompactConcurrentWithCounts(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestLogBatchMatchesIndividualLogs(t *testing.T) {
+	mk := func(dir string) *Logger {
+		l, err := NewLogger(dir, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		return l
+	}
+	keys := make([]block.Key, 0, 100)
+	for i := 0; i < 50; i++ {
+		k := block.MakeKey(1, 2, uint64(i%13))
+		keys = append(keys, k, k+1000)
+	}
+	one, batch := mk(t.TempDir()), mk(t.TempDir())
+	for _, k := range keys {
+		if err := one.Log(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batch.LogBatch(keys); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := one.TupleCount(), batch.TupleCount(); a != b {
+		t.Fatalf("tuple counts differ: %d vs %d", a, b)
+	}
+	counts := func(l *Logger) map[block.Key]int64 {
+		m := make(map[block.Key]int64)
+		if err := l.Counts(func(k block.Key, c int64) { m[k] += c }); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ca, cb := counts(one), counts(batch)
+	if len(ca) != len(cb) {
+		t.Fatalf("distinct keys differ: %d vs %d", len(ca), len(cb))
+	}
+	for k, v := range ca {
+		if cb[k] != v {
+			t.Errorf("key %v: batch count %d, want %d", k, cb[k], v)
+		}
+	}
+}
+
+func TestConcurrentLogBatchPartitions(t *testing.T) {
+	l, err := NewLogger(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := make([]block.Key, 16)
+			for i := 0; i < 100; i++ {
+				for j := range keys {
+					keys[j] = block.MakeKey(w, 0, uint64(i*16+j))
+				}
+				if err := l.LogBatch(keys); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := l.TupleCount(), int64(workers*100*16); got != want {
+		t.Fatalf("TupleCount = %d, want %d", got, want)
+	}
+}
