@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-hot experiments fuzz fmt vet clean
+.PHONY: all build test race test-chaos cover bench bench-smoke bench-hot experiments fuzz fmt vet clean
 
 # Tier-1 flow: compile, static checks, unit tests, the race detector over
 # every package (the concurrent store/appliance paths must stay
@@ -17,6 +17,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection chaos run under the race detector: concurrent I/O and
+# epoch rotations against a backend that fails, hangs, and spikes, plus
+# cache-device and spill faults — asserting no deadlock, no stale data,
+# and clean recovery out of every degraded mode.
+test-chaos:
+	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/core/
 
 cover:
 	$(GO) test -cover ./internal/...

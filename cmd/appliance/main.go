@@ -12,6 +12,7 @@
 //	appliance -listen :9000 -cache-mb 64 -servers 4 -volume-mb 1024
 //	appliance -listen :9000 -variant d -epoch 24h -snapshot /var/lib/sieve.snap
 //	appliance -listen :9000 -shards 8 -pprof 127.0.0.1:6060 -mutex-profile-fraction 5
+//	appliance -listen :9000 -backend-timeout 2s -retries 3 -max-conns 256 -idle-timeout 5m
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/appliance"
 	"repro/internal/core"
+	"repro/internal/resilience"
 	"repro/internal/sieve"
 	"repro/internal/store"
 )
@@ -52,6 +54,11 @@ func main() {
 		shards    = flag.Int("shards", 0, "store lock shards, power of two (0: one per CPU)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
 		mutexFrac = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction rate for /debug/pprof/mutex (0: off)")
+
+		backendTimeout = flag.Duration("backend-timeout", 0, "deadline per backend request attempt (0: none; enables the fault-tolerant backend wrapper)")
+		retries        = flag.Int("retries", 0, "retries per backend op on transient errors (0: none; enables the fault-tolerant backend wrapper)")
+		maxConns       = flag.Int("max-conns", 0, "cap on concurrently served connections; extras get a busy error (0: unlimited)")
+		idleTimeout    = flag.Duration("idle-timeout", 0, "drop connections idle this long between requests (0: never)")
 	)
 	flag.Parse()
 
@@ -86,6 +93,18 @@ func main() {
 			mem.AddVolume(s, 0, uint64(*volumeMB)<<20)
 		}
 		backend = mem
+	}
+
+	// Harden the backend when asked: per-attempt deadlines, transient-error
+	// retries, and per-(server, volume) circuit breakers between the cache
+	// and the ensemble.
+	var res *resilience.Resilient
+	if *backendTimeout > 0 || *retries > 0 {
+		res = resilience.Wrap(backend, resilience.Config{
+			Timeout: *backendTimeout,
+			Retry:   resilience.RetryPolicy{Max: *retries},
+		})
+		backend = res
 	}
 
 	nShards := *shards
@@ -127,7 +146,10 @@ func main() {
 		}
 	}
 
-	srv := appliance.NewServer(st)
+	srv := appliance.NewServerWith(st, appliance.ServerOptions{
+		MaxConns:    *maxConns,
+		IdleTimeout: *idleTimeout,
+	})
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*listen) }()
 	log.Printf("%s serving on %s (cache %d MiB, %d shards, %d servers × %d MiB, write-back=%v)",
@@ -143,6 +165,18 @@ func main() {
 				if s.FlushErrors > 0 || s.RotateFailures > 0 || s.ResetFailures > 0 {
 					line += fmt.Sprintf(" flushErr=%d rotateFail=%d resetFail=%d",
 						s.FlushErrors, s.RotateFailures, s.ResetFailures)
+				}
+				if s.Degraded || s.DegradedEnters > 0 || s.SpillDisables > 0 {
+					line += fmt.Sprintf(" degraded=%v bypassR=%d bypassW=%d cacheFaults=%d spillDisables=%d",
+						s.Degraded, s.BypassReads, s.BypassWrites, s.CacheFaults, s.SpillDisables)
+				}
+				if res != nil {
+					r := res.Stats()
+					line += fmt.Sprintf(" retries=%d timeouts=%d breakerOpen=%d breakerTrips=%d fastFails=%d",
+						r.Retries, r.Timeouts, r.OpenDevices, r.BreakerTrips, r.BreakerFastFails)
+				}
+				if n := srv.BusyRejects(); n > 0 {
+					line += fmt.Sprintf(" busyRejects=%d", n)
 				}
 				if *trackLat {
 					line += fmt.Sprintf(" rdLat=%v/%v wrLat=%v/%v",

@@ -25,6 +25,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 	"unicode/utf8"
 
 	"repro/internal/block"
@@ -75,6 +76,13 @@ var ErrBrokenConn = errors.New("appliance: connection broken by earlier transpor
 // ErrAlreadyServing reports a second Serve call on the same Server.
 var ErrAlreadyServing = errors.New("appliance: Serve already called")
 
+// ErrServerBusy is sent (as an error frame) to connections arriving while
+// the server is at its ServerOptions.MaxConns limit, and surfaced by the
+// client when it recognizes the frame. The wording is part of the wire
+// protocol: the client matches the message text to map the remote frame
+// back to this sentinel.
+var ErrServerBusy = errors.New("appliance: server at connection limit")
+
 // header is the fixed-size request prefix.
 type header struct {
 	op     byte
@@ -110,22 +118,57 @@ func decodeHeader(buf []byte) (header, error) {
 	return h, nil
 }
 
+// ServerOptions hardens a Server against misbehaving peers and overload.
+// The zero value imposes nothing (the historical behavior).
+type ServerOptions struct {
+	// IdleTimeout bounds how long a connection may sit between requests
+	// before it is closed (0 = forever). A dead peer otherwise pins a
+	// handler goroutine and a connection slot indefinitely.
+	IdleTimeout time.Duration
+	// IOTimeout bounds each request's remaining wire I/O — payload read,
+	// store processing, and response flush — once its header has arrived
+	// (0 = unbounded). Size it for the slowest expected backend op, not
+	// just the wire.
+	IOTimeout time.Duration
+	// MaxConns caps concurrently served connections (0 = unlimited).
+	// Connections beyond the cap receive an ErrServerBusy error frame and
+	// are closed, so a well-behaved client fails fast instead of queueing.
+	MaxConns int
+}
+
 // Server serves the appliance protocol over a listener, backed by a
 // core.Store.
 type Server struct {
 	store *core.Store
+	opts  ServerOptions
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
+
+	busyRejects int64
 }
 
-// NewServer returns a Server around st. The caller retains ownership of st
-// (Close does not close the store).
+// NewServer returns a Server around st with no limits (ServerOptions zero
+// value). The caller retains ownership of st (Close does not close the
+// store).
 func NewServer(st *core.Store) *Server {
-	return &Server{store: st, conns: make(map[net.Conn]bool)}
+	return NewServerWith(st, ServerOptions{})
+}
+
+// NewServerWith returns a Server around st hardened with opts.
+func NewServerWith(st *core.Store, opts ServerOptions) *Server {
+	return &Server{store: st, opts: opts, conns: make(map[net.Conn]bool)}
+}
+
+// BusyRejects returns how many connections were turned away at the
+// MaxConns limit.
+func (s *Server) BusyRejects() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busyRejects
 }
 
 // Serve accepts connections on l until Close is called. It always returns a
@@ -161,6 +204,24 @@ func (s *Server) Serve(l net.Listener) error {
 			s.mu.Unlock()
 			conn.Close()
 			return net.ErrClosed
+		}
+		if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
+			s.busyRejects++
+			s.wg.Add(1)
+			s.mu.Unlock()
+			// Tell the peer why before closing — off the accept loop, with a
+			// short deadline, so one unresponsive peer cannot stall accepts.
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				conn.SetDeadline(time.Now().Add(time.Second))
+				writeErr(bufio.NewWriterSize(conn, 64), ErrServerBusy)
+				// Absorb whatever the peer already sent before closing:
+				// closing with unread data risks a reset that discards the
+				// busy frame before the peer reads it.
+				io.Copy(io.Discard, conn)
+			}()
+			continue
 		}
 		s.conns[conn] = true
 		s.wg.Add(1)
@@ -215,8 +276,23 @@ func (s *Server) serveConn(conn net.Conn) {
 	hdr := make([]byte, headerSize)
 	var payload []byte
 	for {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		} else if s.opts.IOTimeout > 0 {
+			// No idle bound: clear the previous request's I/O deadline so it
+			// cannot fire while the connection legitimately sits idle.
+			conn.SetDeadline(time.Time{})
+		}
 		if _, err := io.ReadFull(br, hdr); err != nil {
-			return // EOF or broken connection
+			return // EOF, idle timeout, or broken connection
+		}
+		// Header arrived: the request is live. Re-arm the deadline to cover
+		// the rest of this round trip (payload, store op, response flush),
+		// or clear the idle deadline so a slow store op is not cut short.
+		if s.opts.IOTimeout > 0 {
+			conn.SetDeadline(time.Now().Add(s.opts.IOTimeout))
+		} else if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Time{})
 		}
 		h, err := decodeHeader(hdr)
 		if err != nil {
@@ -360,31 +436,75 @@ func truncateErrMsg(msg string, max int) string {
 // as the next call's status frame. Server-reported RemoteErrors leave the
 // protocol aligned and do not break the client.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	hdr    [headerSize]byte
-	broken error // first transport error; nil while the connection is usable
+	addr string
+	opts DialOptions
+
+	mu         sync.Mutex
+	conn       net.Conn
+	br         *bufio.Reader
+	bw         *bufio.Writer
+	hdr        [headerSize]byte
+	broken     error // first transport error; nil while the connection is usable
+	closed     bool
+	reconnects int64
 }
 
-// Dial connects to an appliance at addr.
+// DialOptions hardens a Client against a flaky wire or a restarting
+// appliance. The zero value imposes nothing (the historical Dial behavior:
+// no deadlines, a broken connection stays broken).
+type DialOptions struct {
+	// Timeout bounds each round trip's wire I/O (request write through
+	// response payload read; 0 = unbounded). A hit deadline breaks the
+	// connection — the wire position is unknown — and, with MaxReconnects
+	// set, triggers a redial.
+	Timeout time.Duration
+	// MaxReconnects is how many times an op whose connection broke mid-
+	// flight redials and retries before giving up (0 = never: every op
+	// after a transport error fails with ErrBrokenConn). Block reads and
+	// writes are idempotent, so replaying one that may or may not have
+	// reached the store is safe; note that a retried RotateEpoch whose
+	// response (only) was lost rotates twice.
+	MaxReconnects int
+	// ReconnectBackoff is the initial delay between redial attempts,
+	// doubling up to 1 s (default 50 ms).
+	ReconnectBackoff time.Duration
+	// DialTimeout bounds each dial, including redials (0 = the OS default).
+	DialTimeout time.Duration
+}
+
+// Dial connects to an appliance at addr with no deadlines and no
+// auto-reconnect (DialOptions zero value).
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith connects to an appliance at addr, hardened with opts.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	return &Client{
+		addr: addr,
+		opts: opts,
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, connBufSize),
 		bw:   bufio.NewWriterSize(conn, connBufSize),
 	}, nil
 }
 
+// Reconnects returns how many times the client has successfully redialed.
+func (c *Client) Reconnects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
 // Close closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	err := c.conn.Close()
 	if c.broken != nil {
 		// fail already closed the conn; the second close's error is noise.
@@ -393,14 +513,78 @@ func (c *Client) Close() error {
 	return err
 }
 
-// fail marks the connection permanently broken and closes it (the wire
-// position is unknown, so it can never be safely reused).
+// fail marks the connection broken and closes it (the wire position is
+// unknown, so it can never be safely reused). With MaxReconnects set, the
+// surrounding exchange redials a fresh connection and retries.
 func (c *Client) fail(err error) error {
 	if c.broken == nil {
 		c.broken = err
 		c.conn.Close()
 	}
 	return err
+}
+
+// reconnectLocked redials the appliance, replacing the broken connection.
+// Caller must hold c.mu (the sleeps hold up other callers of this client,
+// which are serialized on the one connection anyway).
+func (c *Client) reconnectLocked() error {
+	backoff := c.opts.ReconnectBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	for attempt := 0; attempt < c.opts.MaxReconnects; attempt++ {
+		if c.closed {
+			return net.ErrClosed
+		}
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+		if err != nil {
+			continue
+		}
+		c.conn = conn
+		c.br = bufio.NewReaderSize(conn, connBufSize)
+		c.bw = bufio.NewWriterSize(conn, connBufSize)
+		c.broken = nil
+		c.reconnects++
+		return nil
+	}
+	return fmt.Errorf("appliance: reconnect attempts exhausted: %w", c.broken)
+}
+
+// exchange runs one complete protocol exchange (round trip plus any
+// payload reads) under the client lock, with the per-roundtrip deadline
+// armed and — when the connection breaks mid-op and MaxReconnects allows —
+// a redial-and-retry envelope around it.
+func (c *Client) exchange(op func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if c.closed {
+			return net.ErrClosed
+		}
+		if c.broken != nil {
+			if c.opts.MaxReconnects <= 0 {
+				return fmt.Errorf("%w: %w", ErrBrokenConn, c.broken)
+			}
+			if rerr := c.reconnectLocked(); rerr != nil {
+				return fmt.Errorf("%w: %w", ErrBrokenConn, rerr)
+			}
+		}
+		if c.opts.Timeout > 0 {
+			c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		}
+		err := op()
+		if c.broken == nil || attempt >= c.opts.MaxReconnects {
+			return err
+		}
+		// Transport failure with retry budget left: loop to redial and
+		// replay the op on the fresh connection.
+	}
 }
 
 // RemoteError is a server-side failure reported over the protocol.
@@ -447,6 +631,12 @@ func (c *Client) roundTrip(h header, writePayload []byte) error {
 	if _, err := io.ReadFull(c.br, msg); err != nil {
 		return c.fail(err)
 	}
+	if string(msg) == ErrServerBusy.Error() {
+		// The server turned this connection away at its MaxConns limit and
+		// is closing it: break proactively (a later redial may find a free
+		// slot) and surface the sentinel rather than an opaque RemoteError.
+		return c.fail(ErrServerBusy)
+	}
 	return &RemoteError{Msg: string(msg)}
 }
 
@@ -473,16 +663,16 @@ func (c *Client) ReadAt(server, volume int, p []byte, off uint64) error {
 	if err := checkIDs(server, volume); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	h := header{op: OpRead, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(len(p))}
-	if err := c.roundTrip(h, nil); err != nil {
-		return err
-	}
-	if _, err := io.ReadFull(c.br, p); err != nil {
-		return c.fail(err)
-	}
-	return nil
+	return c.exchange(func() error {
+		if err := c.roundTrip(h, nil); err != nil {
+			return err
+		}
+		if _, err := io.ReadFull(c.br, p); err != nil {
+			return c.fail(err)
+		}
+		return nil
+	})
 }
 
 // WriteAt writes p to the remote volume at off.
@@ -493,18 +683,18 @@ func (c *Client) WriteAt(server, volume int, p []byte, off uint64) error {
 	if err := checkIDs(server, volume); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	h := header{op: OpWrite, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(len(p))}
-	return c.roundTrip(h, p)
+	return c.exchange(func() error {
+		return c.roundTrip(h, p)
+	})
 }
 
 // RotateEpoch forces a SieveStore-D epoch rotation on the appliance
 // (no-op for a VariantC appliance).
 func (c *Client) RotateEpoch() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.roundTrip(header{op: OpRotate}, nil)
+	return c.exchange(func() error {
+		return c.roundTrip(header{op: OpRotate}, nil)
+	})
 }
 
 // Invalidate drops the appliance's cached blocks in [off, off+length),
@@ -514,35 +704,38 @@ func (c *Client) Invalidate(server, volume int, off uint64, length int) (int, er
 	if err := checkIDs(server, volume); err != nil {
 		return 0, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	h := header{op: OpInvalidate, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(length)}
-	if err := c.roundTrip(h, nil); err != nil {
-		return 0, err
-	}
-	var resp [4]byte
-	if _, err := io.ReadFull(c.br, resp[:]); err != nil {
-		return 0, c.fail(err)
-	}
-	return int(binary.BigEndian.Uint32(resp[:])), nil
+	var dropped int
+	err := c.exchange(func() error {
+		if err := c.roundTrip(h, nil); err != nil {
+			return err
+		}
+		var resp [4]byte
+		if _, err := io.ReadFull(c.br, resp[:]); err != nil {
+			return c.fail(err)
+		}
+		dropped = int(binary.BigEndian.Uint32(resp[:]))
+		return nil
+	})
+	return dropped, err
 }
 
 // Stats fetches the appliance's cache statistics.
 func (c *Client) Stats() (core.Stats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var st core.Stats
-	if err := c.roundTrip(header{op: OpStats}, nil); err != nil {
-		return st, err
-	}
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(c.br, lenBuf[:]); err != nil {
-		return st, c.fail(err)
-	}
-	data := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
-	if _, err := io.ReadFull(c.br, data); err != nil {
-		return st, c.fail(err)
-	}
-	err := json.Unmarshal(data, &st)
+	err := c.exchange(func() error {
+		if err := c.roundTrip(header{op: OpStats}, nil); err != nil {
+			return err
+		}
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(c.br, lenBuf[:]); err != nil {
+			return c.fail(err)
+		}
+		data := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+		if _, err := io.ReadFull(c.br, data); err != nil {
+			return c.fail(err)
+		}
+		return json.Unmarshal(data, &st)
+	})
 	return st, err
 }

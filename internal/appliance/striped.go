@@ -134,6 +134,13 @@ func (sc *StripedClient) Stats() (core.Stats, error) {
 		total.RotateFailures += s.RotateFailures
 		total.ResetFailures += s.ResetFailures
 		total.FlushErrors += s.FlushErrors
+		total.BypassReads += s.BypassReads
+		total.BypassWrites += s.BypassWrites
+		total.DegradedEnters += s.DegradedEnters
+		total.DegradedExits += s.DegradedExits
+		total.CacheFaults += s.CacheFaults
+		total.SpillDisables += s.SpillDisables
+		total.Degraded = total.Degraded || s.Degraded
 		total.ReadLatency = total.ReadLatency.Add(s.ReadLatency)
 		total.WriteLatency = total.WriteLatency.Add(s.WriteLatency)
 	}

@@ -171,6 +171,12 @@ func (sh *shard) tryAdmit(key block.Key, data []byte, kind block.Kind, now time.
 // allocated — the caller's own I/O already succeeded and must not be
 // failed by an unrelated block's flush.
 func (sh *shard) install(key block.Key, data []byte) bool {
+	if inj := sh.store.opts.FrameFaultInjector; inj != nil {
+		if err := inj(key); err != nil {
+			sh.store.noteCacheFault()
+			return false
+		}
+	}
 	if sh.tags.Len() >= sh.tags.Capacity() && !sh.tags.Contains(key) {
 		if victim, ok := sh.tags.LRU(); ok && sh.dirty[victim] {
 			if err := sh.flushBlock(victim); err != nil {
@@ -187,6 +193,7 @@ func (sh *shard) install(key block.Key, data []byte) bool {
 	frame := sh.alloc()
 	copy(frame, data)
 	sh.frames[key] = frame
+	sh.store.noteCacheOK()
 	return true
 }
 

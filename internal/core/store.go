@@ -97,6 +97,27 @@ type Options struct {
 	// Stats.ReadLatency/WriteLatency (a few atomic ops per call; off by
 	// default so trace replay stays allocation- and syscall-identical).
 	TrackLatency bool
+	// DegradedFaultThreshold is how many consecutive cache-device faults
+	// (frame-write failures, see FrameFaultInjector) flip the store into
+	// pass-through bypass: reads and writes go straight to the backend —
+	// a sick cache device must not take the whole ensemble path down with
+	// it — until a recovery probe succeeds. The same threshold disables
+	// SieveStore-D access logging after that many consecutive spill
+	// errors. 0 means the default (3); negative disables degraded modes.
+	DegradedFaultThreshold int
+	// DegradedProbeEvery is how often one request is allowed through the
+	// normal cached path (or one access through the disabled spill
+	// logger) to probe for recovery while degraded (default 1 s).
+	DegradedProbeEvery time.Duration
+	// FrameFaultInjector, if non-nil, is consulted before every cache
+	// frame install and models the cache device failing a write: a
+	// non-nil error aborts the admission (the request itself still
+	// succeeds — the data was already fetched or written through) and
+	// counts a cache-device fault toward DegradedFaultThreshold. This is
+	// the seam where an SSD-backed frame store would surface its write
+	// errors; the fault-injection tests drive it directly. Epoch batch
+	// installs (VariantD commit) bypass the seam.
+	FrameFaultInjector func(key block.Key) error
 	// Now supplies time; nil means time.Now. Injectable for tests and
 	// trace replay.
 	Now func() time.Time
@@ -145,6 +166,15 @@ func (o *Options) withDefaults() (Options, error) {
 	if out.Epoch < time.Minute {
 		return out, fmt.Errorf("core: Epoch %v too short", out.Epoch)
 	}
+	if out.DegradedFaultThreshold == 0 {
+		out.DegradedFaultThreshold = 3
+	}
+	if out.DegradedProbeEvery == 0 {
+		out.DegradedProbeEvery = time.Second
+	}
+	if out.DegradedProbeEvery < 0 {
+		return out, fmt.Errorf("core: DegradedProbeEvery %v must be positive", out.DegradedProbeEvery)
+	}
 	if out.Now == nil {
 		out.Now = time.Now
 	}
@@ -174,6 +204,13 @@ type Stats struct {
 	RotateFailures         int64 // epoch rotations aborted before the swap by a backend or log error (VariantD)
 	ResetFailures          int64 // epoch log resets that failed after the swap committed — the rotation still counts in Epochs (VariantD)
 	FlushErrors            int64 // dirty write-backs that failed (the blocks stay dirty and resident)
+	BypassReads            int64 // blocks read straight from the backend while degraded
+	BypassWrites           int64 // blocks written straight to the backend while degraded
+	DegradedEnters         int64 // transitions into cache-bypass mode
+	DegradedExits          int64 // recoveries out of cache-bypass mode
+	CacheFaults            int64 // cache-device (frame-write) faults observed
+	SpillDisables          int64 // times SieveStore-D access logging was disabled by spill faults
+	Degraded               bool  // whether the store is in cache-bypass mode right now
 
 	// ReadLatency/WriteLatency aggregate whole-call ReadAt/WriteAt service
 	// times when Options.TrackLatency is set (zero otherwise).
@@ -270,6 +307,26 @@ type Store struct {
 	epochs         atomic.Int64
 	rotateFailures atomic.Int64
 	resetFailures  atomic.Int64
+
+	// Degraded-mode state (see Options.DegradedFaultThreshold). degraded
+	// flips on after DegradedFaultThreshold consecutive cache-device
+	// faults; while set, requests bypass the cache (straight to the
+	// backend) except one probe per DegradedProbeEvery that takes the
+	// normal path — a probe completing without a new cache fault flips
+	// degraded back off. spillDisabled is the analogous per-epoch switch
+	// for SieveStore-D access logging.
+	degraded         atomic.Bool
+	cacheFaultStreak atomic.Int64 // consecutive frame faults; reset by any fault-free install
+	cacheFaults      atomic.Int64 // total frame faults
+	degradedEnters   atomic.Int64
+	degradedExits    atomic.Int64
+	bypassReads      atomic.Int64
+	bypassWrites     atomic.Int64
+	lastCacheProbe   atomic.Int64 // UnixNanos of the last bypass probe
+	spillFaultStreak atomic.Int64
+	spillDisabled    atomic.Bool
+	spillDisables    atomic.Int64
+	lastSpillProbe   atomic.Int64
 
 	ownSpill string // temp dir to remove on Close, if any
 
@@ -408,9 +465,164 @@ func (s *Store) Stats() Stats {
 	st.Epochs = s.epochs.Load()
 	st.RotateFailures = s.rotateFailures.Load()
 	st.ResetFailures = s.resetFailures.Load()
+	st.BypassReads = s.bypassReads.Load()
+	st.BypassWrites = s.bypassWrites.Load()
+	st.DegradedEnters = s.degradedEnters.Load()
+	st.DegradedExits = s.degradedExits.Load()
+	st.CacheFaults = s.cacheFaults.Load()
+	st.SpillDisables = s.spillDisables.Load()
+	st.Degraded = s.degraded.Load()
 	st.ReadLatency = s.latRead.Snapshot()
 	st.WriteLatency = s.latWrite.Snapshot()
 	return st
+}
+
+// Degraded reports whether the store is currently in cache-bypass mode.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// noteCacheFault records one cache-device fault; crossing the threshold
+// enters bypass mode. Callable under a shard lock (atomics only).
+func (s *Store) noteCacheFault() {
+	s.cacheFaults.Add(1)
+	streak := s.cacheFaultStreak.Add(1)
+	thr := int64(s.opts.DegradedFaultThreshold)
+	if thr > 0 && streak >= thr && s.degraded.CompareAndSwap(false, true) {
+		s.degradedEnters.Add(1)
+		// Wait one full probe interval before the first recovery probe.
+		s.lastCacheProbe.Store(s.now().UnixNano())
+	}
+}
+
+// noteCacheOK resets the consecutive-fault streak after a fault-free
+// frame install.
+func (s *Store) noteCacheOK() { s.cacheFaultStreak.Store(0) }
+
+// exitDegraded leaves bypass mode after a successful recovery probe.
+func (s *Store) exitDegraded() {
+	if s.degraded.CompareAndSwap(true, false) {
+		s.cacheFaultStreak.Store(0)
+		s.degradedExits.Add(1)
+	}
+}
+
+// probeDue claims the per-interval recovery probe slot tracked by last:
+// true means this caller is the probe and last was advanced.
+func (s *Store) probeDue(last *atomic.Int64) bool {
+	now := s.now().UnixNano()
+	l := last.Load()
+	return now-l >= int64(s.opts.DegradedProbeEvery) && last.CompareAndSwap(l, now)
+}
+
+// bypassRead serves a read while degraded: dirty write-back blocks (whose
+// only current copy is the cache frame) come from the cache, everything
+// else straight from the backend. No admission, no access logging, no
+// epoch rotation — the degraded store does the minimum that keeps clients
+// correct.
+func (s *Store) bypassRead(server, volume int, p []byte, off uint64) error {
+	nBlocks := len(p) / block.Size
+	first := off / block.Size
+	var servedDirty int64
+	var served []bool
+	if s.opts.WriteBack {
+		for _, g := range s.groupByShard(server, volume, first, nBlocks) {
+			g.sh.mu.Lock()
+			for _, i := range g.idxs {
+				key := block.MakeKey(server, volume, first+uint64(i))
+				if g.sh.dirty[key] && g.sh.frames[key] != nil {
+					copy(p[i*block.Size:(i+1)*block.Size], g.sh.frames[key])
+					if served == nil {
+						served = make([]bool, nBlocks)
+					}
+					served[i] = true
+					servedDirty++
+				}
+			}
+			g.sh.mu.Unlock()
+		}
+	}
+	var err error
+	var nReads, nBytes int64
+	for i := 0; i < nBlocks && err == nil; {
+		if served != nil && served[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < nBlocks && (served == nil || !served[j]) {
+			j++
+		}
+		buf := p[i*block.Size : j*block.Size]
+		if err = s.backend.ReadAt(server, volume, buf, off+uint64(i)*block.Size); err == nil {
+			nReads++
+			nBytes += int64(len(buf))
+		}
+		i = j
+	}
+	sh := s.shardOf(block.MakeKey(server, volume, first))
+	sh.mu.Lock()
+	sh.stats.Reads += int64(nBlocks)
+	sh.stats.ReadHits += servedDirty
+	sh.stats.CacheBytesServed += servedDirty * block.Size
+	sh.stats.BackendReads += nReads
+	sh.stats.BackendBytesRead += nBytes
+	sh.stats.BackendBytesServedRead += nBytes
+	sh.mu.Unlock()
+	s.bypassReads.Add(int64(nBlocks))
+	return err
+}
+
+// bypassWrite writes straight through to the backend while degraded, then
+// drops any cached copies of the written range — the cache is not being
+// maintained, so a stale resident frame (or an in-flight fetch of
+// pre-write data) must not survive to be served after recovery.
+func (s *Store) bypassWrite(server, volume int, p []byte, off uint64) error {
+	nBlocks := len(p) / block.Size
+	first := off / block.Size
+	err := s.backend.WriteAt(server, volume, p, off)
+	sh := s.shardOf(block.MakeKey(server, volume, first))
+	sh.mu.Lock()
+	sh.stats.Writes += int64(nBlocks)
+	if err == nil {
+		sh.stats.BackendWrites++
+		sh.stats.BackendBytesWritten += int64(len(p))
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.bypassWrites.Add(int64(nBlocks))
+	s.dropRange(server, volume, first, nBlocks)
+	return nil
+}
+
+// dropRange discards cached state for [first, first+n) after the backend
+// was modified directly (bypass writes): resident frames are freed
+// without write-back (the whole block was just overwritten, so a dirty
+// frame is superseded), in-flight operations are marked stale and
+// detached so a fetch racing the bypass write cannot install pre-write
+// data, and keys are recorded in rotSkip so a staging epoch commit cannot
+// resurrect its older batch-fetched copy.
+func (s *Store) dropRange(server, volume int, first uint64, n int) {
+	for _, g := range s.groupByShard(server, volume, first, n) {
+		g.sh.mu.Lock()
+		for _, i := range g.idxs {
+			key := block.MakeKey(server, volume, first+uint64(i))
+			if f, ok := g.sh.inflight[key]; ok {
+				f.stale = true
+				delete(g.sh.inflight, key)
+			}
+			if g.sh.rotSkip != nil {
+				g.sh.rotSkip[key] = true
+			}
+			if g.sh.tags.Contains(key) {
+				delete(g.sh.dirty, key)
+				g.sh.tags.Remove(key)
+				g.sh.free = append(g.sh.free, g.sh.frames[key])
+				delete(g.sh.frames, key)
+			}
+		}
+		g.sh.mu.Unlock()
+	}
 }
 
 // Close releases the store's resources. In write-back mode the dirty
@@ -483,6 +695,19 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 	}
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if s.degraded.Load() {
+		if !s.probeDue(&s.lastCacheProbe) {
+			return s.bypassRead(server, volume, p, off)
+		}
+		// This caller is the recovery probe: take the normal cached path,
+		// and leave bypass mode if it completes without a fresh cache fault.
+		base := s.cacheFaults.Load()
+		defer func() {
+			if err == nil && s.cacheFaults.Load() == base {
+				s.exitDegraded()
+			}
+		}()
 	}
 	s.maybeRotate()
 	if s.closed.Load() {
@@ -721,6 +946,17 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 	}
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if s.degraded.Load() {
+		if !s.probeDue(&s.lastCacheProbe) {
+			return s.bypassWrite(server, volume, p, off)
+		}
+		base := s.cacheFaults.Load()
+		defer func() {
+			if err == nil && s.cacheFaults.Load() == base {
+				s.exitDegraded()
+			}
+		}()
 	}
 	s.maybeRotate()
 	if s.closed.Load() {
@@ -1007,9 +1243,22 @@ func (s *Store) now() time.Time { return s.opts.Now() }
 // running.
 var testLogHook func()
 
+// testSpillFault, when non-nil, injects an error into logAccess before the
+// logger is touched — tests use it to drive the spill-disable path without
+// breaking the logger's real files. Set and cleared only while no store
+// operations are running.
+var testSpillFault func() error
+
 // logAccess records the access for the offline sieve (VariantD only). It
 // runs before any shard lock is taken: the logger's buffered file I/O
 // (including its 64 KiB buffer flushes) must never stall concurrent hits.
+//
+// Logging failures must not fail the I/O path; the worst case is a slightly
+// stale epoch selection. They are surfaced via Close — and after
+// DegradedFaultThreshold consecutive failures, access logging is disabled
+// for the rest of the epoch (the spill device is presumed sick). One probe
+// per DegradedProbeEvery retries; a success, or the epoch rotation's log
+// reset, re-enables logging.
 func (s *Store) logAccess(server, volume int, first uint64, nBlocks int) {
 	if s.logger == nil {
 		return
@@ -1017,17 +1266,42 @@ func (s *Store) logAccess(server, volume int, first uint64, nBlocks int) {
 	if h := testLogHook; h != nil {
 		h()
 	}
-	// Logging failures must not fail the I/O path; the worst case is a
-	// slightly stale epoch selection. They are surfaced via Close.
-	if nBlocks == 1 {
-		_ = s.logger.Log(block.MakeKey(server, volume, first))
+	if s.spillDisabled.Load() && !s.probeDue(&s.lastSpillProbe) {
 		return
 	}
-	keys := make([]block.Key, nBlocks)
-	for i := range keys {
-		keys[i] = block.MakeKey(server, volume, first+uint64(i))
+	var err error
+	if f := testSpillFault; f != nil {
+		err = f()
 	}
-	_ = s.logger.LogBatch(keys)
+	if err == nil {
+		if nBlocks == 1 {
+			err = s.logger.Log(block.MakeKey(server, volume, first))
+		} else {
+			keys := make([]block.Key, nBlocks)
+			for i := range keys {
+				keys[i] = block.MakeKey(server, volume, first+uint64(i))
+			}
+			err = s.logger.LogBatch(keys)
+		}
+	}
+	s.noteSpill(err)
+}
+
+// noteSpill tracks consecutive access-log failures and flips the
+// spill-disable switch across the threshold (or back, on a successful
+// probe).
+func (s *Store) noteSpill(err error) {
+	if err == nil {
+		s.spillFaultStreak.Store(0)
+		s.spillDisabled.Store(false)
+		return
+	}
+	streak := s.spillFaultStreak.Add(1)
+	thr := int64(s.opts.DegradedFaultThreshold)
+	if thr > 0 && streak >= thr && s.spillDisabled.CompareAndSwap(false, true) {
+		s.spillDisables.Add(1)
+		s.lastSpillProbe.Store(s.now().UnixNano())
+	}
 }
 
 // updateDeadlineLocked recomputes the next epoch boundary after curEpoch
@@ -1263,6 +1537,10 @@ func (s *Store) rotateStaged() (committed bool, err error) {
 		s.resetFailures.Add(1)
 		return true, fmt.Errorf("core: epoch log reset: %w", rerr)
 	}
+	// Fresh logs on a working spill device: if logging had been disabled
+	// for the old epoch, resume it for the new one.
+	s.spillFaultStreak.Store(0)
+	s.spillDisabled.Store(false)
 	return true, nil
 }
 

@@ -1,0 +1,60 @@
+package metrics
+
+// FailureWindow tracks the outcomes of the most recent N operations in a
+// fixed ring, exposing how many of them failed. It is the arithmetic under
+// a circuit breaker: the breaker trips when the failure count in the
+// window crosses its threshold, which tolerates isolated errors on a
+// mostly-healthy device while reacting within N requests to a dead one.
+//
+// The zero value is unusable; make one with NewFailureWindow. It is not
+// safe for concurrent use — callers (the breaker) serialize access.
+type FailureWindow struct {
+	ring  []bool // true = failure
+	count int    // observations recorded, saturating at len(ring)
+	idx   int    // next slot to overwrite
+	fails int    // failures currently in the ring
+}
+
+// NewFailureWindow returns a window over the last size outcomes (size ≥ 1).
+func NewFailureWindow(size int) *FailureWindow {
+	if size < 1 {
+		size = 1
+	}
+	return &FailureWindow{ring: make([]bool, size)}
+}
+
+// Observe records one operation outcome, evicting the oldest.
+func (w *FailureWindow) Observe(failed bool) {
+	if w.count == len(w.ring) {
+		if w.ring[w.idx] {
+			w.fails--
+		}
+	} else {
+		w.count++
+	}
+	w.ring[w.idx] = failed
+	if failed {
+		w.fails++
+	}
+	w.idx++
+	if w.idx == len(w.ring) {
+		w.idx = 0
+	}
+}
+
+// Failures returns how many of the recorded outcomes in the window failed.
+func (w *FailureWindow) Failures() int { return w.fails }
+
+// Len returns how many outcomes are currently recorded (≤ Size).
+func (w *FailureWindow) Len() int { return w.count }
+
+// Size returns the window capacity.
+func (w *FailureWindow) Size() int { return len(w.ring) }
+
+// Reset forgets all recorded outcomes.
+func (w *FailureWindow) Reset() {
+	for i := range w.ring {
+		w.ring[i] = false
+	}
+	w.count, w.idx, w.fails = 0, 0, 0
+}

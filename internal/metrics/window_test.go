@@ -1,0 +1,63 @@
+package metrics
+
+import "testing"
+
+func TestFailureWindowCountsWithinRing(t *testing.T) {
+	w := NewFailureWindow(4)
+	if w.Size() != 4 || w.Len() != 0 || w.Failures() != 0 {
+		t.Fatalf("fresh window: size=%d len=%d fails=%d", w.Size(), w.Len(), w.Failures())
+	}
+	w.Observe(true)
+	w.Observe(false)
+	w.Observe(true)
+	if w.Len() != 3 || w.Failures() != 2 {
+		t.Fatalf("after 3 observations: len=%d fails=%d, want 3/2", w.Len(), w.Failures())
+	}
+}
+
+func TestFailureWindowEvictsOldest(t *testing.T) {
+	w := NewFailureWindow(3)
+	w.Observe(true)
+	w.Observe(true)
+	w.Observe(true)
+	if w.Failures() != 3 {
+		t.Fatalf("full of failures: fails=%d", w.Failures())
+	}
+	// Each success evicts one of the failures.
+	for i := 3; i > 0; i-- {
+		w.Observe(false)
+		if w.Failures() != i-1 {
+			t.Fatalf("after %d successes: fails=%d, want %d", 4-i, w.Failures(), i-1)
+		}
+	}
+	if w.Len() != 3 {
+		t.Fatalf("len=%d, want saturated 3", w.Len())
+	}
+}
+
+func TestFailureWindowReset(t *testing.T) {
+	w := NewFailureWindow(2)
+	w.Observe(true)
+	w.Observe(true)
+	w.Reset()
+	if w.Len() != 0 || w.Failures() != 0 {
+		t.Fatalf("after reset: len=%d fails=%d", w.Len(), w.Failures())
+	}
+	w.Observe(false)
+	w.Observe(true)
+	if w.Failures() != 1 {
+		t.Fatalf("after reset+observe: fails=%d, want 1", w.Failures())
+	}
+}
+
+func TestFailureWindowMinimumSize(t *testing.T) {
+	w := NewFailureWindow(0)
+	if w.Size() != 1 {
+		t.Fatalf("size=%d, want clamped 1", w.Size())
+	}
+	w.Observe(true)
+	w.Observe(false)
+	if w.Failures() != 0 || w.Len() != 1 {
+		t.Fatalf("1-slot window: fails=%d len=%d", w.Failures(), w.Len())
+	}
+}

@@ -1,0 +1,160 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// BreakerConfig tunes a circuit breaker.
+type BreakerConfig struct {
+	// Threshold trips the breaker when this many of the last Window
+	// outcomes failed (default 5; < 0 disables the breaker).
+	Threshold int
+	// Window is how many recent outcomes are considered (default 2×
+	// Threshold).
+	Window int
+	// OpenFor is how long a tripped breaker fast-fails before letting a
+	// half-open probe through (default 1 s).
+	OpenFor time.Duration
+	// Probes is how many concurrent half-open probe requests are allowed
+	// (default 1).
+	Probes int
+	// Now is injectable for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * c.Threshold
+	}
+	if c.Window < c.Threshold {
+		c.Window = c.Threshold
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = time.Second
+	}
+	if c.Probes <= 0 {
+		c.Probes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	stateClosed   = iota // normal operation, outcomes tracked in the window
+	stateOpen            // fast-failing; waiting out OpenFor
+	stateHalfOpen        // letting up to Probes requests test the device
+)
+
+// Breaker is one device's circuit breaker: closed while the device
+// behaves, open (fast-failing) after Threshold of the last Window
+// requests failed, half-open after OpenFor — a limited number of probes
+// go through, and their outcome closes or re-opens the circuit. It is
+// safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    int
+	window   *metrics.FailureWindow
+	openedAt time.Time
+	inProbe  int // outstanding half-open probes
+	trips    int64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, window: metrics.NewFailureWindow(cfg.Window)}
+}
+
+// Allow reports whether a request may proceed now: nil to proceed,
+// ErrCircuitOpen to fast-fail. Every allowed request MUST be matched by
+// exactly one Record call (the half-open probe budget is reserved here
+// and released there).
+func (b *Breaker) Allow() error {
+	if b.cfg.Threshold < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return nil
+	case stateOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return ErrCircuitOpen
+		}
+		b.state = stateHalfOpen
+		b.inProbe = 0
+		fallthrough
+	default: // stateHalfOpen
+		if b.inProbe >= b.cfg.Probes {
+			return ErrCircuitOpen
+		}
+		b.inProbe++
+		return nil
+	}
+}
+
+// Record feeds one allowed request's outcome back into the breaker.
+func (b *Breaker) Record(err error) {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	failed := err != nil
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		b.window.Observe(failed)
+		if b.window.Failures() >= b.cfg.Threshold {
+			b.trip()
+		}
+	case stateHalfOpen:
+		if b.inProbe > 0 {
+			b.inProbe--
+		}
+		if failed {
+			b.trip()
+		} else {
+			b.state = stateClosed
+			b.window.Reset()
+		}
+	case stateOpen:
+		// A late Record from a request allowed before the trip; the
+		// window restarts from scratch on the next close, so drop it.
+	}
+}
+
+// trip moves to open and stamps the cool-down. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = stateOpen
+	b.openedAt = b.cfg.Now()
+	b.window.Reset()
+	b.inProbe = 0
+	b.trips++
+}
+
+// Open reports whether the breaker is currently fast-failing (open and
+// within its cool-down).
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == stateOpen && b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenFor
+}
+
+// Trips returns how many times the breaker has tripped.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

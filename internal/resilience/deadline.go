@@ -1,0 +1,103 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ioBufs recycles the private transfer buffers the deadline wrapper I/Os
+// through. Buffers abandoned by a timed-out request stay referenced by
+// the straggling goroutine and are dropped to the GC when it finishes —
+// never recycled while a hung backend might still be writing into them.
+var ioBufs = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+
+func getBuf(n int) []byte {
+	bp := ioBufs.Get().(*[]byte)
+	if cap(*bp) < n {
+		return make([]byte, n)
+	}
+	return (*bp)[:n]
+}
+
+func putBuf(b []byte) {
+	b = b[:0]
+	ioBufs.Put(&b)
+}
+
+// DeadlineBackend bounds every request to the wrapped Backend with a
+// fixed timeout. A request that misses its deadline returns
+// ErrBackendTimeout (wrapped in a DeviceError); the backend call itself
+// is abandoned, not cancelled — the Backend interface has no cancellation
+// — so each timeout leaks one goroutine until the device finally answers.
+// That is the correct trade: the alternative is the caller (and, in the
+// SieveStore core, every reader coalesced onto its in-flight entry)
+// hanging with it.
+//
+// Reads and writes go through a private copy of the caller's buffer, so a
+// late-completing request can never scribble into memory the caller has
+// already reused.
+type DeadlineBackend struct {
+	backend Backend
+	timeout time.Duration
+}
+
+// WithDeadline wraps backend with a per-request timeout. A timeout ≤ 0
+// returns backend unchanged (deadlines disabled).
+func WithDeadline(backend Backend, timeout time.Duration) Backend {
+	if timeout <= 0 {
+		return backend
+	}
+	return &DeadlineBackend{backend: backend, timeout: timeout}
+}
+
+// outcome carries a completed call's result and its transfer buffer (so
+// the receiver can recycle it; abandoned outcomes are left to the GC).
+type outcome struct {
+	err error
+	buf []byte
+}
+
+// ReadAt implements Backend.
+func (d *DeadlineBackend) ReadAt(server, volume int, p []byte, off uint64) error {
+	buf := getBuf(len(p))
+	done := make(chan outcome, 1) // buffered: the straggler never blocks
+	go func() {
+		err := d.backend.ReadAt(server, volume, buf, off)
+		done <- outcome{err: err, buf: buf}
+	}()
+	t := time.NewTimer(d.timeout)
+	defer t.Stop()
+	select {
+	case out := <-done:
+		if out.err == nil {
+			copy(p, out.buf)
+		}
+		putBuf(out.buf)
+		return out.err
+	case <-t.C:
+		return &DeviceError{Server: server, Volume: volume,
+			Err: fmt.Errorf("read %d bytes at %d: %w", len(p), off, ErrBackendTimeout)}
+	}
+}
+
+// WriteAt implements Backend.
+func (d *DeadlineBackend) WriteAt(server, volume int, p []byte, off uint64) error {
+	buf := getBuf(len(p))
+	copy(buf, p)
+	done := make(chan outcome, 1)
+	go func() {
+		err := d.backend.WriteAt(server, volume, buf, off)
+		done <- outcome{err: err, buf: buf}
+	}()
+	t := time.NewTimer(d.timeout)
+	defer t.Stop()
+	select {
+	case out := <-done:
+		putBuf(out.buf)
+		return out.err
+	case <-t.C:
+		return &DeviceError{Server: server, Volume: volume,
+			Err: fmt.Errorf("write %d bytes at %d: %w", len(p), off, ErrBackendTimeout)}
+	}
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,12 +62,54 @@ func (l *Latency) BusyTime() time.Duration { return time.Duration(atomic.LoadInt
 // Ops returns the number of requests that reached the backend.
 func (l *Latency) Ops() int64 { return atomic.LoadInt64(&l.ops) }
 
-// ErrInjected is returned by a tripped Faulty backend.
+// ErrInjected is returned by a tripped Faulty backend. It classifies as
+// permanent (no Transient method): the legacy toggles model deterministic
+// device rejections.
 var ErrInjected = errors.New("store: injected fault")
 
-// Faulty wraps a Backend and fails requests on demand — used to test that
-// the SieveStore core propagates ensemble errors without corrupting its
-// cache state.
+// ErrInjectedTransient is the retryable flavor of ErrInjected, used by
+// probabilistic fault configs that model blips a retry would clear. It
+// implements the `Transient() bool` probe internal/resilience classifies
+// by.
+var ErrInjectedTransient error = transientInjected{errors.New("store: injected transient fault")}
+
+type transientInjected struct{ error }
+
+// Transient marks the error retryable for resilience.Transient.
+func (transientInjected) Transient() bool { return true }
+
+// FaultConfig drives the probabilistic fault modes of Faulty. All
+// probabilities are per-request in [0,1]; the zero value injects nothing.
+type FaultConfig struct {
+	// ReadFailProb / WriteFailProb fail a matching request outright.
+	ReadFailProb, WriteFailProb float64
+	// Transient makes probabilistic failures return ErrInjectedTransient
+	// (retry-clearable) instead of the permanent ErrInjected.
+	Transient bool
+	// HangProb hangs a matching request for HangFor — or until
+	// ClearFaults releases it — before completing normally, modelling a
+	// wedged device. HangFor defaults to 30 s.
+	HangProb float64
+	HangFor  time.Duration
+	// LatencyProb delays a matching request by Latency (a served-but-slow
+	// spike rather than a hang); Latency defaults to 10 ms.
+	LatencyProb float64
+	Latency     time.Duration
+	// Server/Volume scope the faults to one device; leave both at -1 (or
+	// the whole struct zero with Scoped false) to cover every device.
+	Scoped         bool
+	Server, Volume int
+}
+
+// Faulty wraps a Backend and injects failures — used to test that the
+// SieveStore core propagates ensemble errors without corrupting its cache
+// state, and by the chaos harness to drive randomized per-device faults,
+// hangs, and latency spikes through the resilience layer.
+//
+// Two control planes coexist: the legacy deterministic toggles
+// (FailReads/FailWrites/FailAfter, always ErrInjected, unscoped) and the
+// probabilistic FaultConfig (seeded, per-device scopable, transient or
+// permanent, with hangs and latency spikes).
 type Faulty struct {
 	Backend
 
@@ -74,11 +117,56 @@ type Faulty struct {
 	failReads  bool
 	failWrites bool
 	failAfter  int64 // fail once this many more requests have passed; -1 = off
+	cfg        FaultConfig
+	rng        *rand.Rand
+	release    chan struct{} // closed by ClearFaults to free current hangs
+
+	inflight sync.WaitGroup // backend calls in progress (for Quiesce)
 }
 
 // NewFaulty wraps backend with fault injection disabled.
 func NewFaulty(backend Backend) *Faulty {
-	return &Faulty{Backend: backend, failAfter: -1}
+	return &Faulty{
+		Backend:   backend,
+		failAfter: -1,
+		rng:       rand.New(rand.NewSource(1)),
+		release:   make(chan struct{}),
+	}
+}
+
+// Seed reseeds the probabilistic fault source (deterministic per seed).
+func (f *Faulty) Seed(seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetConfig installs a probabilistic fault configuration (replacing any
+// previous one). Requests already hanging keep hanging until their HangFor
+// elapses or ClearFaults runs.
+func (f *Faulty) SetConfig(cfg FaultConfig) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg = cfg
+}
+
+// ClearFaults disarms every fault mode — the deterministic toggles and
+// the probabilistic config — and releases all currently-hanging requests,
+// which then complete against the backend.
+func (f *Faulty) ClearFaults() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failReads, f.failWrites, f.failAfter = false, false, -1
+	f.cfg = FaultConfig{}
+	close(f.release)
+	f.release = make(chan struct{})
+}
+
+// Quiesce blocks until no request is inside the wrapped backend. Chaos
+// tests call ClearFaults then Quiesce so that abandoned (timed-out)
+// stragglers have finished mutating the backend before it is inspected.
+func (f *Faulty) Quiesce() {
+	f.inflight.Wait()
 }
 
 // FailReads toggles immediate read failures.
@@ -102,37 +190,81 @@ func (f *Faulty) FailAfter(n int64) {
 	f.failAfter = n
 }
 
-func (f *Faulty) shouldFail(isRead bool) bool {
+// decide applies the fault planes to one request: it may sleep (latency
+// spike), park until released or timed out (hang), and finally returns
+// the injected error, nil meaning the request proceeds to the backend.
+func (f *Faulty) decide(isRead bool, server, volume int) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	if isRead && f.failReads {
-		return true
-	}
-	if !isRead && f.failWrites {
-		return true
+	// Legacy deterministic toggles — unscoped, always permanent.
+	if (isRead && f.failReads) || (!isRead && f.failWrites) {
+		f.mu.Unlock()
+		return ErrInjected
 	}
 	if f.failAfter >= 0 {
 		if f.failAfter == 0 {
 			f.failAfter = -1
-			return true
+			f.mu.Unlock()
+			return ErrInjected
 		}
 		f.failAfter--
 	}
-	return false
+	// Probabilistic plane.
+	cfg := f.cfg
+	release := f.release
+	var failErr error
+	var hang, spike time.Duration
+	if !cfg.Scoped || (cfg.Server == server && cfg.Volume == volume) {
+		p := cfg.WriteFailProb
+		if isRead {
+			p = cfg.ReadFailProb
+		}
+		if p > 0 && f.rng.Float64() < p {
+			if cfg.Transient {
+				failErr = ErrInjectedTransient
+			} else {
+				failErr = ErrInjected
+			}
+		}
+		if cfg.HangProb > 0 && f.rng.Float64() < cfg.HangProb {
+			if hang = cfg.HangFor; hang <= 0 {
+				hang = 30 * time.Second
+			}
+		} else if cfg.LatencyProb > 0 && f.rng.Float64() < cfg.LatencyProb {
+			if spike = cfg.Latency; spike <= 0 {
+				spike = 10 * time.Millisecond
+			}
+		}
+	}
+	f.mu.Unlock()
+	if hang > 0 {
+		t := time.NewTimer(hang)
+		select {
+		case <-t.C:
+		case <-release:
+			t.Stop()
+		}
+	} else if spike > 0 {
+		time.Sleep(spike)
+	}
+	return failErr
 }
 
 // ReadAt implements Backend.
 func (f *Faulty) ReadAt(server, volume int, p []byte, off uint64) error {
-	if f.shouldFail(true) {
-		return ErrInjected
+	f.inflight.Add(1)
+	defer f.inflight.Done()
+	if err := f.decide(true, server, volume); err != nil {
+		return err
 	}
 	return f.Backend.ReadAt(server, volume, p, off)
 }
 
 // WriteAt implements Backend.
 func (f *Faulty) WriteAt(server, volume int, p []byte, off uint64) error {
-	if f.shouldFail(false) {
-		return ErrInjected
+	f.inflight.Add(1)
+	defer f.inflight.Done()
+	if err := f.decide(false, server, volume); err != nil {
+		return err
 	}
 	return f.Backend.WriteAt(server, volume, p, off)
 }
