@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-chaos cover bench bench-smoke bench-hot experiments fuzz fmt vet clean
+.PHONY: all build test race test-chaos cover bench bench-smoke bench-hot experiments fuzz test-fuzz fmt vet clean
 
 # Tier-1 flow: compile, static checks, unit tests, the race detector over
 # every package (the concurrent store/appliance paths must stay
@@ -25,8 +25,24 @@ race:
 test-chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/core/
 
+# Coverage floors for the observability-critical packages: the metrics
+# primitives feed operator-facing numbers and the appliance parses
+# untrusted network input, so both must stay thoroughly tested. Other
+# packages report coverage without a floor.
+COVER_FLOOR_metrics    := 90
+COVER_FLOOR_appliance  := 80
+
 cover:
-	$(GO) test -cover ./internal/...
+	@out=$$($(GO) test -cover ./internal/...); echo "$$out"; fail=0; \
+	for spec in metrics:$(COVER_FLOOR_metrics) appliance:$(COVER_FLOOR_appliance); do \
+	  pkg=$${spec%%:*}; floor=$${spec##*:}; \
+	  pct=$$(echo "$$out" | awk -v p="repro/internal/$$pkg" \
+	    '$$2==p { for (i=1; i<=NF; i++) if ($$i ~ /%$$/) { gsub(/%/, "", $$i); print $$i } }'); \
+	  if [ -z "$$pct" ]; then echo "cover: FAIL no coverage reported for internal/$$pkg"; fail=1; \
+	  elif awk -v a="$$pct" -v b="$$floor" 'BEGIN { exit !(a < b) }'; then \
+	    echo "cover: FAIL internal/$$pkg at $$pct% (floor $$floor%)"; fail=1; \
+	  else echo "cover: internal/$$pkg $$pct% >= $$floor%"; fi; \
+	done; exit $$fail
 
 # One benchmark per paper table/figure plus hot-path micro-benchmarks.
 bench:
@@ -56,6 +72,17 @@ fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzBinaryReader -fuzztime 30s -run XXX
 	$(GO) test ./internal/trace/ -fuzz FuzzCSVReader -fuzztime 30s -run XXX
 	$(GO) test ./internal/core/ -fuzz FuzzLoadSnapshot -fuzztime 30s -run XXX
+	$(GO) test ./internal/appliance/ -fuzz FuzzFrameRoundTrip -fuzztime 30s -run XXX
+	$(GO) test ./internal/appliance/ -fuzz FuzzServerInput -fuzztime 30s -run XXX
+
+# Quick smoke over every fuzz target (seed corpora + 5s of new inputs
+# each) — cheap enough for pre-commit; `make fuzz` is the long soak.
+test-fuzz:
+	$(GO) test ./internal/trace/ -fuzz FuzzBinaryReader -fuzztime 5s -run XXX
+	$(GO) test ./internal/trace/ -fuzz FuzzCSVReader -fuzztime 5s -run XXX
+	$(GO) test ./internal/core/ -fuzz FuzzLoadSnapshot -fuzztime 5s -run XXX
+	$(GO) test ./internal/appliance/ -fuzz FuzzFrameRoundTrip -fuzztime 5s -run XXX
+	$(GO) test ./internal/appliance/ -fuzz FuzzServerInput -fuzztime 5s -run XXX
 
 fmt:
 	gofmt -w .

@@ -13,6 +13,7 @@
 //	appliance -listen :9000 -variant d -epoch 24h -snapshot /var/lib/sieve.snap
 //	appliance -listen :9000 -shards 8 -pprof 127.0.0.1:6060 -mutex-profile-fraction 5
 //	appliance -listen :9000 -backend-timeout 2s -retries 3 -max-conns 256 -idle-timeout 5m
+//	appliance -listen :9000 -metrics 127.0.0.1:9100 -trace-sample 64
 package main
 
 import (
@@ -53,7 +54,11 @@ func main() {
 		trackLat  = flag.Bool("track-latency", true, "record per-op read/write service times (reported in stats)")
 		shards    = flag.Int("shards", 0, "store lock shards, power of two (0: one per CPU)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
-		mutexFrac = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction rate for /debug/pprof/mutex (0: off)")
+
+		metricsAddr = flag.String("metrics", "", "serve /metrics (Prometheus), /statusz (JSON), and /debug/ops on this address (empty: disabled)")
+		traceSample = flag.Int("trace-sample", 0, "sample one in N operations into the /debug/ops lifecycle trace ring (0: off)")
+		traceRing   = flag.Int("trace-ring", 256, "sampled-op trace ring size")
+		mutexFrac   = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction rate for /debug/pprof/mutex (0: off)")
 
 		backendTimeout = flag.Duration("backend-timeout", 0, "deadline per backend request attempt (0: none; enables the fault-tolerant backend wrapper)")
 		retries        = flag.Int("retries", 0, "retries per backend op on transient errors (0: none; enables the fault-tolerant backend wrapper)")
@@ -112,10 +117,12 @@ func main() {
 		nShards = core.DefaultShards()
 	}
 	opts := core.Options{
-		CacheBytes:   *cacheMB << 20,
-		WriteBack:    *writeBack,
-		TrackLatency: *trackLat,
-		Shards:       nShards,
+		CacheBytes:    *cacheMB << 20,
+		WriteBack:     *writeBack,
+		TrackLatency:  *trackLat,
+		Shards:        nShards,
+		TraceSample:   *traceSample,
+		TraceRingSize: *traceRing,
 	}
 	switch *variant {
 	case "c":
@@ -150,6 +157,21 @@ func main() {
 		MaxConns:    *maxConns,
 		IdleTimeout: *idleTimeout,
 	})
+
+	if *metricsAddr != "" {
+		obs := appliance.NewObservability(st)
+		obs.AttachServer(srv)
+		if res != nil {
+			obs.AttachResilience(res)
+		}
+		go func() {
+			log.Printf("observability listening on %s (/metrics, /statusz, /debug/ops)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, obs.Handler()); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*listen) }()
 	log.Printf("%s serving on %s (cache %d MiB, %d shards, %d servers × %d MiB, write-back=%v)",

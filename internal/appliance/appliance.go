@@ -25,6 +25,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unicode/utf8"
 
@@ -149,6 +150,10 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	busyRejects int64
+
+	totalConns  atomic.Int64
+	requests    atomic.Int64
+	errorFrames atomic.Int64
 }
 
 // NewServer returns a Server around st with no limits (ServerOptions zero
@@ -169,6 +174,37 @@ func (s *Server) BusyRejects() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.busyRejects
+}
+
+// ServerStats is a snapshot of a Server's connection and request
+// counters, exported by the observability layer.
+type ServerStats struct {
+	ActiveConns int   // connections currently being served
+	TotalConns  int64 // connections accepted over the server's lifetime
+	BusyRejects int64 // connections turned away at the MaxConns limit
+	Requests    int64 // request frames received (all ops)
+	ErrorFrames int64 // error-frame responses sent
+}
+
+// StatsSnapshot snapshots the server's counters.
+func (s *Server) StatsSnapshot() ServerStats {
+	s.mu.Lock()
+	active := len(s.conns)
+	busy := s.busyRejects
+	s.mu.Unlock()
+	return ServerStats{
+		ActiveConns: active,
+		TotalConns:  s.totalConns.Load(),
+		BusyRejects: busy,
+		Requests:    s.requests.Load(),
+		ErrorFrames: s.errorFrames.Load(),
+	}
+}
+
+// sendErr is writeErr with the server's error-frame counter attached.
+func (s *Server) sendErr(bw *bufio.Writer, err error) bool {
+	s.errorFrames.Add(1)
+	return writeErr(bw, err)
 }
 
 // Serve accepts connections on l until Close is called. It always returns a
@@ -215,7 +251,7 @@ func (s *Server) Serve(l net.Listener) error {
 				defer s.wg.Done()
 				defer conn.Close()
 				conn.SetDeadline(time.Now().Add(time.Second))
-				writeErr(bufio.NewWriterSize(conn, 64), ErrServerBusy)
+				s.sendErr(bufio.NewWriterSize(conn, 64), ErrServerBusy)
 				// Absorb whatever the peer already sent before closing:
 				// closing with unread data risks a reset that discards the
 				// busy frame before the peer reads it.
@@ -224,6 +260,7 @@ func (s *Server) Serve(l net.Listener) error {
 			continue
 		}
 		s.conns[conn] = true
+		s.totalConns.Add(1)
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go func() {
@@ -294,9 +331,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		} else if s.opts.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Time{})
 		}
+		s.requests.Add(1)
 		h, err := decodeHeader(hdr)
 		if err != nil {
-			writeErr(bw, err)
+			s.sendErr(bw, err)
 			return
 		}
 		// Reject IDs the packed block.Key cannot represent before they
@@ -312,7 +350,7 @@ func (s *Server) serveConn(conn net.Conn) {
 					return
 				}
 			}
-			if !writeErr(bw, fmt.Errorf("appliance: server %d / volume %d out of range", h.server, h.volume)) {
+			if !s.sendErr(bw, fmt.Errorf("appliance: server %d / volume %d out of range", h.server, h.volume)) {
 				return
 			}
 			continue
@@ -324,7 +362,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			buf := payload[:h.length]
 			if err := s.store.ReadAt(int(h.server), int(h.volume), buf, h.offset); err != nil {
-				if !writeErr(bw, err) {
+				if !s.sendErr(bw, err) {
 					return
 				}
 				continue
@@ -341,7 +379,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			if err := s.store.WriteAt(int(h.server), int(h.volume), buf, h.offset); err != nil {
-				if !writeErr(bw, err) {
+				if !s.sendErr(bw, err) {
 					return
 				}
 				continue
@@ -352,7 +390,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		case OpStats:
 			data, err := json.Marshal(s.store.Stats())
 			if err != nil {
-				if !writeErr(bw, err) {
+				if !s.sendErr(bw, err) {
 					return
 				}
 				continue
@@ -364,7 +402,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		case OpRotate:
 			if err := s.store.RotateEpoch(); err != nil {
-				if !writeErr(bw, err) {
+				if !s.sendErr(bw, err) {
 					return
 				}
 				continue
@@ -375,7 +413,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		case OpInvalidate:
 			dropped, err := s.store.Invalidate(int(h.server), int(h.volume), h.offset, int(h.length))
 			if err != nil {
-				if !writeErr(bw, err) {
+				if !s.sendErr(bw, err) {
 					return
 				}
 				continue
@@ -386,7 +424,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 		default:
-			writeErr(bw, fmt.Errorf("%w: unknown op %d", ErrProtocol, h.op))
+			s.sendErr(bw, fmt.Errorf("%w: unknown op %d", ErrProtocol, h.op))
 			return
 		}
 	}

@@ -1,0 +1,250 @@
+package appliance
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"testing"
+	"time"
+	"unicode/utf8"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// FuzzFrameRoundTrip checks the header codec: any field combination must
+// encode to a frame that decodes back to exactly the same header, with
+// the single exception of lengths over MaxIOBytes, which decode must
+// reject (never truncate or wrap).
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(OpRead), uint16(0), uint16(0), uint64(0), uint32(512))
+	f.Add(byte(OpWrite), uint16(3), uint16(1), uint64(1<<40), uint32(4096))
+	f.Add(byte(OpStats), uint16(0), uint16(0), uint64(0), uint32(0))
+	f.Add(byte(0xFF), uint16(65535), uint16(65535), uint64(1<<63), uint32(MaxIOBytes))
+	f.Add(byte(OpRead), uint16(0), uint16(0), uint64(0), uint32(MaxIOBytes+1))
+	f.Fuzz(func(t *testing.T, op byte, server, volume uint16, offset uint64, length uint32) {
+		h := header{op: op, server: server, volume: volume, offset: offset, length: length}
+		var buf [headerSize]byte
+		h.encode(buf[:])
+		if buf[0] != magic {
+			t.Fatalf("encode did not stamp magic: % x", buf)
+		}
+		got, err := decodeHeader(buf[:])
+		if length > MaxIOBytes {
+			if err == nil {
+				t.Fatalf("oversize length %d decoded: %+v", length, got)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("decode failed: %v", err)
+		}
+		if got != h {
+			t.Fatalf("round trip changed header: %+v -> %+v", h, got)
+		}
+		// Corrupting the magic must fail decode, not misparse.
+		buf[0] ^= 0x01
+		if _, err := decodeHeader(buf[:]); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+}
+
+// fuzzExpect is what the differential oracle predicts for one request
+// parsed out of the fuzz input.
+type fuzzExpect struct {
+	op      byte
+	length  uint32 // read payload size on statusOK
+	mustErr bool   // server/volume out of range: frame must be statusErr
+	closes  bool   // connection terminates after this frame
+	noFrame bool   // connection closes with no frame (truncated request)
+}
+
+// simulateRequests mirrors serveConn's framing rules over the raw input
+// and returns the exact response-frame sequence the server must produce.
+func simulateRequests(data []byte) []fuzzExpect {
+	var out []fuzzExpect
+	pos := 0
+	for {
+		if len(data)-pos < headerSize {
+			return out // EOF mid-header: clean close, no frame
+		}
+		hdr := data[pos : pos+headerSize]
+		pos += headerSize
+		op := hdr[1]
+		length := binary.BigEndian.Uint32(hdr[14:])
+		if hdr[0] != magic || length > MaxIOBytes {
+			return append(out, fuzzExpect{op: op, mustErr: true, closes: true})
+		}
+		server := binary.BigEndian.Uint16(hdr[2:])
+		volume := binary.BigEndian.Uint16(hdr[4:])
+		if int(server) >= block.MaxServers || int(volume) >= block.MaxVolumes {
+			if op == OpWrite {
+				if len(data)-pos < int(length) {
+					return append(out, fuzzExpect{noFrame: true})
+				}
+				pos += int(length)
+			}
+			out = append(out, fuzzExpect{op: op, mustErr: true})
+			continue
+		}
+		switch op {
+		case OpRead, OpStats, OpRotate, OpInvalidate:
+			out = append(out, fuzzExpect{op: op, length: length})
+		case OpWrite:
+			if len(data)-pos < int(length) {
+				return append(out, fuzzExpect{noFrame: true})
+			}
+			pos += int(length)
+			out = append(out, fuzzExpect{op: op})
+		default:
+			return append(out, fuzzExpect{op: op, mustErr: true, closes: true})
+		}
+	}
+}
+
+// readResponseFrame consumes one response frame and validates its shape:
+// statusOK payloads sized by the request's op, statusErr frames carrying
+// a length-prefixed valid-UTF-8 message.
+func readResponseFrame(t *testing.T, br *bufio.Reader, exp fuzzExpect) {
+	t.Helper()
+	status, err := br.ReadByte()
+	if err != nil {
+		t.Fatalf("expected a frame for op %d, got %v", exp.op, err)
+	}
+	switch status {
+	case statusOK:
+		if exp.mustErr {
+			t.Fatalf("op %d with out-of-range ids answered OK", exp.op)
+		}
+		var n int64
+		switch exp.op {
+		case OpRead:
+			n = int64(exp.length)
+		case OpStats:
+			var lenBuf [4]byte
+			if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+				t.Fatalf("stats length prefix: %v", err)
+			}
+			body := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+			if _, err := io.ReadFull(br, body); err != nil {
+				t.Fatalf("stats body: %v", err)
+			}
+			if !json.Valid(body) {
+				t.Fatalf("stats body is not JSON: %q", body)
+			}
+			return
+		case OpInvalidate:
+			n = 4
+		case OpWrite, OpRotate:
+			n = 0
+		}
+		if _, err := io.CopyN(io.Discard, br, n); err != nil {
+			t.Fatalf("op %d OK payload (%d bytes): %v", exp.op, n, err)
+		}
+	case statusErr:
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			t.Fatalf("error frame length: %v", err)
+		}
+		msg := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+		if _, err := io.ReadFull(br, msg); err != nil {
+			t.Fatalf("error frame message: %v", err)
+		}
+		if !utf8.Valid(msg) {
+			t.Fatalf("error message is not UTF-8: %q", msg)
+		}
+	default:
+		t.Fatalf("op %d: invalid status byte %d", exp.op, status)
+	}
+}
+
+// FuzzServerInput throws arbitrary bytes at a live appliance server over
+// TCP. The server must never panic, must answer every malformed frame
+// with a clean error frame, and must keep its response stream exactly
+// frame-aligned with the differential oracle above — byte-for-byte the
+// rules serveConn implements.
+func FuzzServerInput(f *testing.F) {
+	be := store.NewMem()
+	be.AddVolume(0, 0, 1<<20)
+	st, err := core.Open(be, core.Options{CacheBytes: 64 * block.Size, Variant: core.VariantC})
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := NewServer(st)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(l) }()
+	f.Cleanup(func() {
+		srv.Close()
+		<-done
+		st.Close()
+	})
+	addr := l.Addr().String()
+
+	frame := func(op byte, server, volume uint16, offset uint64, length uint32, payload []byte) []byte {
+		h := header{op: op, server: server, volume: volume, offset: offset, length: length}
+		buf := make([]byte, headerSize, headerSize+len(payload))
+		h.encode(buf)
+		return append(buf, payload...)
+	}
+	f.Add(frame(OpRead, 0, 0, 0, 512, nil))
+	f.Add(frame(OpWrite, 0, 0, 0, 512, make([]byte, 512)))
+	f.Add(frame(OpStats, 0, 0, 0, 0, nil))
+	f.Add(frame(OpRotate, 0, 0, 0, 0, nil))
+	f.Add(frame(OpInvalidate, 0, 0, 0, 1024, nil))
+	f.Add(frame(OpRead, 9999, 0, 0, 512, nil))                    // server id out of range
+	f.Add(frame(OpRead, 0, 0, 1<<40, 512, nil))                   // offset beyond the volume
+	f.Add(frame(0x7F, 0, 0, 0, 0, nil))                           // unknown op
+	f.Add([]byte{0x00, OpRead})                                   // bad magic
+	f.Add(frame(OpRead, 0, 0, 0, MaxIOBytes+1, nil)[:headerSize]) // oversize length
+	f.Add(frame(OpWrite, 0, 0, 0, 4096, nil))                     // write header, missing payload
+	f.Add([]byte{magic})                                          // truncated header
+	f.Add([]byte{})
+	f.Add(append(frame(OpRead, 0, 0, 0, 512, nil), frame(OpStats, 0, 0, 0, 0, nil)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Skip("dial failed (server shutting down)")
+		}
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		// Write concurrently with reading: a request stream whose responses
+		// overflow the TCP buffers would otherwise deadlock the single
+		// thread (server blocked writing, client blocked writing). Write
+		// errors are legal — the server hangs up after a terminating frame.
+		writeDone := make(chan struct{})
+		go func() {
+			defer close(writeDone)
+			conn.Write(data)
+			// Half-close so the server sees EOF after the final request.
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+		}()
+		// Close before joining the writer: once the oracle stops reading,
+		// a blocked server response would wedge the writer until the
+		// deadline; the close unblocks both sides immediately.
+		defer func() { conn.Close(); <-writeDone }()
+		br := bufio.NewReader(conn)
+		for _, exp := range simulateRequests(data) {
+			if exp.noFrame {
+				break
+			}
+			readResponseFrame(t, br, exp)
+			if exp.closes {
+				break
+			}
+		}
+		// Whatever remains must be connection close, not stray bytes.
+		if b, err := br.ReadByte(); err == nil {
+			t.Fatalf("unexpected trailing response byte 0x%02x", b)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package appliance
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/resilience"
+	"repro/internal/sieve"
+	"repro/internal/sieved"
+)
+
+// Observability collects every counter the system computes — per-shard
+// core stats, sieve/IMCT state, SieveStore-D spill-log partition stats,
+// resilience breaker/retry stats, and appliance server stats — into a
+// metrics.Registry under stable dotted names, and serves them over HTTP:
+//
+//	/metrics    Prometheus text exposition (counters, gauges, latency
+//	            histograms with quantile-derivable le buckets)
+//	/statusz    the same data as JSON, histograms rendered as
+//	            count/sum/max plus p50/p95/p99/p999
+//	/debug/ops  the store's sampled per-op lifecycle records, newest first
+//
+// All producer snapshots are refreshed once per scrape (Registry
+// OnCollect), so a scrape costs one cross-shard stats merge regardless of
+// how many metrics read from it.
+type Observability struct {
+	Registry *metrics.Registry
+
+	store *core.Store
+	start time.Time
+	now   func() time.Time
+
+	mu    sync.RWMutex
+	stats core.Stats
+	sieve sieve.CStats
+	spill sieved.LoggerStats
+}
+
+// NewObservability builds a registry over st's counters. Attach more
+// producers with AttachServer and AttachResilience, then serve Handler.
+func NewObservability(st *core.Store) *Observability {
+	o := &Observability{
+		Registry: metrics.NewRegistry(),
+		store:    st,
+		start:    time.Now(),
+		now:      time.Now,
+	}
+	r := o.Registry
+	r.OnCollect(o.refresh)
+	r.Uptime("sievestore.uptime_seconds", o.start, nil)
+	r.Gauge("sievestore.core.shards", func() float64 { return float64(st.Shards()) })
+
+	c := func(name string, f func(core.Stats) int64) {
+		r.Counter("sievestore.core."+name, func() int64 { return f(o.coreStats()) })
+	}
+	g := func(name string, f func(core.Stats) float64) {
+		r.Gauge("sievestore.core."+name, func() float64 { return f(o.coreStats()) })
+	}
+	c("reads", func(s core.Stats) int64 { return s.Reads })
+	c("writes", func(s core.Stats) int64 { return s.Writes })
+	c("read_hits", func(s core.Stats) int64 { return s.ReadHits })
+	c("write_hits", func(s core.Stats) int64 { return s.WriteHits })
+	c("alloc_writes", func(s core.Stats) int64 { return s.AllocWrites })
+	c("evictions", func(s core.Stats) int64 { return s.Evictions })
+	c("epoch_moves", func(s core.Stats) int64 { return s.EpochMoves })
+	c("epochs", func(s core.Stats) int64 { return s.Epochs })
+	c("backend_reads", func(s core.Stats) int64 { return s.BackendReads })
+	c("backend_writes", func(s core.Stats) int64 { return s.BackendWrites })
+	c("flush_writes", func(s core.Stats) int64 { return s.FlushWrites })
+	c("coalesced_reads", func(s core.Stats) int64 { return s.CoalescedReads })
+	c("rotate_failures", func(s core.Stats) int64 { return s.RotateFailures })
+	c("reset_failures", func(s core.Stats) int64 { return s.ResetFailures })
+	c("flush_errors", func(s core.Stats) int64 { return s.FlushErrors })
+	c("bypass_reads", func(s core.Stats) int64 { return s.BypassReads })
+	c("bypass_writes", func(s core.Stats) int64 { return s.BypassWrites })
+	c("degraded_enters", func(s core.Stats) int64 { return s.DegradedEnters })
+	c("degraded_exits", func(s core.Stats) int64 { return s.DegradedExits })
+	c("cache_faults", func(s core.Stats) int64 { return s.CacheFaults })
+	c("spill_disables", func(s core.Stats) int64 { return s.SpillDisables })
+	c("backend_bytes_read", func(s core.Stats) int64 { return s.BackendBytesRead })
+	c("backend_bytes_written", func(s core.Stats) int64 { return s.BackendBytesWritten })
+	c("cache_bytes_served", func(s core.Stats) int64 { return s.CacheBytesServed })
+	c("read_ops", func(s core.Stats) int64 { return s.ReadLatency.Ops })
+	c("read_errors", func(s core.Stats) int64 { return s.ReadLatency.Errors })
+	c("write_ops", func(s core.Stats) int64 { return s.WriteLatency.Ops })
+	c("write_errors", func(s core.Stats) int64 { return s.WriteLatency.Errors })
+	g("cached_blocks", func(s core.Stats) float64 { return float64(s.CachedBlocks) })
+	g("capacity_blocks", func(s core.Stats) float64 { return float64(s.CapacityBlocks) })
+	g("dirty_blocks", func(s core.Stats) float64 { return float64(s.DirtyBlocks) })
+	g("sieve_tracked_blocks", func(s core.Stats) float64 { return float64(s.SieveTrackedBlocks) })
+	g("hit_ratio", func(s core.Stats) float64 { return s.HitRatio() })
+	g("degraded", func(s core.Stats) float64 {
+		if s.Degraded {
+			return 1
+		}
+		return 0
+	})
+
+	r.Histogram("sievestore.core.read_latency", func() metrics.HistogramSnapshot {
+		rd, _ := st.LatencyHistograms()
+		return rd
+	})
+	r.Histogram("sievestore.core.write_latency", func() metrics.HistogramSnapshot {
+		_, wr := st.LatencyHistograms()
+		return wr
+	})
+
+	sc := func(name string, f func(sieve.CStats) int64) {
+		r.Counter("sievestore.sieve."+name, func() int64 { return f(o.sieveStats()) })
+	}
+	sc("misses", func(s sieve.CStats) int64 { return s.Misses })
+	sc("promotions", func(s sieve.CStats) int64 { return s.Promotions })
+	sc("allocations", func(s sieve.CStats) int64 { return s.Allocations })
+	sc("pruned", func(s sieve.CStats) int64 { return s.Pruned })
+	r.Gauge("sievestore.sieve.mct_size", func() float64 { return float64(o.sieveStats().MCTSize) })
+
+	if _, ok := st.SpillStats(); ok {
+		sg := func(name string, f func(sieved.LoggerStats) float64) {
+			r.Gauge("sievestore.sieved."+name, func() float64 { return f(o.spillStats()) })
+		}
+		sg("partitions", func(s sieved.LoggerStats) float64 { return float64(s.Partitions) })
+		sg("tuples", func(s sieved.LoggerStats) float64 { return float64(s.Tuples) })
+		sg("max_partition_tuples", func(s sieved.LoggerStats) float64 { return float64(s.MaxPartitionTuples) })
+		sg("pending_epochs", func(s sieved.LoggerStats) float64 { return float64(s.PendingEpochs) })
+	}
+	return o
+}
+
+// refresh snapshots the store once per collection.
+func (o *Observability) refresh() {
+	st := o.store.Stats()
+	sv := o.store.SieveStats()
+	sp, _ := o.store.SpillStats()
+	o.mu.Lock()
+	o.stats, o.sieve, o.spill = st, sv, sp
+	o.mu.Unlock()
+}
+
+func (o *Observability) coreStats() core.Stats {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.stats
+}
+
+func (o *Observability) sieveStats() sieve.CStats {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.sieve
+}
+
+func (o *Observability) spillStats() sieved.LoggerStats {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.spill
+}
+
+// AttachServer registers the appliance server's connection/request
+// counters.
+func (o *Observability) AttachServer(srv *Server) {
+	r := o.Registry
+	r.Gauge("sievestore.server.active_conns", func() float64 { return float64(srv.StatsSnapshot().ActiveConns) })
+	r.Counter("sievestore.server.total_conns", func() int64 { return srv.StatsSnapshot().TotalConns })
+	r.Counter("sievestore.server.busy_rejects", func() int64 { return srv.StatsSnapshot().BusyRejects })
+	r.Counter("sievestore.server.requests", func() int64 { return srv.StatsSnapshot().Requests })
+	r.Counter("sievestore.server.error_frames", func() int64 { return srv.StatsSnapshot().ErrorFrames })
+}
+
+// AttachResilience registers the fault-tolerant backend wrapper's
+// retry/breaker counters.
+func (o *Observability) AttachResilience(res *resilience.Resilient) {
+	r := o.Registry
+	snap := func() resilience.Snapshot { return res.Stats() }
+	r.Counter("sievestore.resilience.retries", func() int64 { return snap().Retries })
+	r.Counter("sievestore.resilience.timeouts", func() int64 { return snap().Timeouts })
+	r.Counter("sievestore.resilience.breaker_fast_fails", func() int64 { return snap().BreakerFastFails })
+	r.Counter("sievestore.resilience.breaker_trips", func() int64 { return snap().BreakerTrips })
+	r.Counter("sievestore.resilience.transient_errors", func() int64 { return snap().TransientErrors })
+	r.Counter("sievestore.resilience.permanent_errors", func() int64 { return snap().PermanentErrors })
+	r.Gauge("sievestore.resilience.open_devices", func() float64 { return float64(snap().OpenDevices) })
+}
+
+// Handler returns the HTTP mux serving /metrics, /statusz, and
+// /debug/ops. Mount it on any listener (cmd/appliance's -metrics flag
+// serves exactly this).
+func (o *Observability) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		body := map[string]any{
+			"variant":        o.store.Variant().String(),
+			"shards":         o.store.Shards(),
+			"uptime_seconds": o.now().Sub(o.start).Seconds(),
+			"metrics":        o.Registry.JSONStatus(),
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
+	})
+	mux.HandleFunc("/debug/ops", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		traces := o.store.Traces()
+		body := map[string]any{
+			"sampled": traces != nil,
+			"ops":     traces,
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
+	})
+	return mux
+}

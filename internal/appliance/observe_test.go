@@ -1,0 +1,256 @@
+package appliance
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/resilience"
+	"repro/internal/store"
+)
+
+// startObservedServer runs a full stack — resilient backend, VariantC
+// store with tracing, appliance server, observability HTTP endpoint — and
+// returns a wire client plus the base URL of the metrics listener.
+func startObservedServer(t *testing.T) (*Client, *core.Store, string) {
+	t.Helper()
+	be := store.NewMem()
+	be.AddVolume(0, 0, 1<<24)
+	res := resilience.Wrap(be, resilience.Config{Timeout: time.Second})
+	st, err := core.Open(res, core.Options{
+		CacheBytes:    256 * block.Size,
+		Variant:       core.VariantC,
+		TrackLatency:  true,
+		TraceSample:   1,
+		TraceRingSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(l) }()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs := NewObservability(st)
+	obs.AttachServer(srv)
+	obs.AttachResilience(res)
+	web := httptest.NewServer(obs.Handler())
+
+	t.Cleanup(func() {
+		web.Close()
+		client.Close()
+		srv.Close()
+		<-done
+		st.Close()
+	})
+	return client, st, web.URL
+}
+
+func httpGet(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), resp
+}
+
+// TestObservabilityEndToEnd drives real I/O through the wire protocol and
+// checks that /metrics, /statusz, and /debug/ops all report it.
+func TestObservabilityEndToEnd(t *testing.T) {
+	client, st, base := startObservedServer(t)
+
+	// 4 writes then 8 reads of the same blocks: the default sieve won't
+	// admit single-access blocks, but reads repeat so some blocks get hot.
+	buf := bytes.Repeat([]byte{0x5A}, 2*block.Size)
+	for i := 0; i < 4; i++ {
+		if err := client.WriteAt(0, 0, buf, uint64(i)*uint64(len(buf))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := make([]byte, block.Size)
+	for pass := 0; pass < 8; pass++ {
+		for i := 0; i < 4; i++ {
+			if err := client.ReadAt(0, 0, rd, uint64(i)*2*block.Size); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stats := st.Stats()
+	if stats.Reads == 0 || stats.Writes == 0 {
+		t.Fatalf("no I/O recorded: %+v", stats)
+	}
+
+	// /metrics: Prometheus text format with the core counters and a
+	// quantile-derivable read-latency histogram.
+	body, resp := httpGet(t, base+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE sievestore_core_reads counter",
+		"# TYPE sievestore_core_read_hits counter",
+		"# TYPE sievestore_core_alloc_writes counter",
+		"# TYPE sievestore_core_read_latency histogram",
+		"sievestore_core_read_latency_bucket{le=\"+Inf\"}",
+		"sievestore_core_read_latency_sum",
+		"sievestore_core_read_latency_count",
+		"# TYPE sievestore_core_hit_ratio gauge",
+		"# TYPE sievestore_server_requests counter",
+		"# TYPE sievestore_resilience_retries counter",
+		"# TYPE sievestore_sieve_misses counter",
+		"sievestore_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The read counter value must match the store's own accounting.
+	wantReads := "sievestore_core_reads " + itoa(stats.Reads)
+	if !strings.Contains(body, wantReads) {
+		t.Errorf("/metrics missing %q\n%s", wantReads, grepLines(body, "sievestore_core_reads"))
+	}
+	// The histogram recorded every read op.
+	wantCount := "sievestore_core_read_latency_count " + itoa(stats.ReadLatency.Ops)
+	if !strings.Contains(body, wantCount) {
+		t.Errorf("/metrics missing %q\n%s", wantCount, grepLines(body, "read_latency_count"))
+	}
+
+	// /statusz: same data as JSON.
+	body, resp = httpGet(t, base+"/statusz")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/statusz content-type = %q", ct)
+	}
+	var status struct {
+		Variant string         `json:"variant"`
+		Shards  int            `json:"shards"`
+		Uptime  float64        `json:"uptime_seconds"`
+		Metrics map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/statusz is not JSON: %v\n%s", err, body)
+	}
+	if status.Variant != "SieveStore-C" || status.Shards != st.Shards() {
+		t.Errorf("/statusz header = %+v", status)
+	}
+	if got := status.Metrics["sievestore.core.reads"].(float64); got != float64(stats.Reads) {
+		t.Errorf("/statusz reads = %v, want %d", got, stats.Reads)
+	}
+	lat, ok := status.Metrics["sievestore.core.read_latency"].(map[string]any)
+	if !ok {
+		t.Fatalf("/statusz read_latency = %T", status.Metrics["sievestore.core.read_latency"])
+	}
+	if lat["count"].(float64) != float64(stats.ReadLatency.Ops) || lat["p99_ns"].(float64) <= 0 {
+		t.Errorf("/statusz read_latency = %v", lat)
+	}
+
+	// /debug/ops: every op was sampled (TraceSample=1); the ring holds the
+	// most recent 32 with populated lifecycle fields.
+	body, resp = httpGet(t, base+"/debug/ops")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/debug/ops content-type = %q", ct)
+	}
+	var ops struct {
+		Sampled bool `json:"sampled"`
+		Ops     []struct {
+			Seq       uint64 `json:"seq"`
+			Op        string `json:"op"`
+			Blocks    int    `json:"blocks"`
+			Shard     int    `json:"shard"`
+			Hits      int    `json:"hits"`
+			Misses    int    `json:"misses"`
+			LatencyNS int64  `json:"latency_ns"`
+			StartNS   int64  `json:"start_unix_ns"`
+		} `json:"ops"`
+	}
+	if err := json.Unmarshal([]byte(body), &ops); err != nil {
+		t.Fatalf("/debug/ops is not JSON: %v\n%s", err, body)
+	}
+	if !ops.Sampled || len(ops.Ops) != 32 {
+		t.Fatalf("/debug/ops sampled=%v n=%d, want true/32", ops.Sampled, len(ops.Ops))
+	}
+	for i, op := range ops.Ops {
+		if op.Op != "read" && op.Op != "write" {
+			t.Errorf("op %d: kind %q", i, op.Op)
+		}
+		if op.Blocks <= 0 || op.LatencyNS < 0 || op.StartNS <= 0 {
+			t.Errorf("op %d: unpopulated record %+v", i, op)
+		}
+		if i > 0 && op.Seq >= ops.Ops[i-1].Seq {
+			t.Errorf("op %d: not newest-first (%d then %d)", i, ops.Ops[i-1].Seq, op.Seq)
+		}
+	}
+	// The last 32 ops were all reads of 1 block each, and the cache was
+	// warm by then — the newest records should show hits.
+	if ops.Ops[0].Op != "read" || ops.Ops[0].Hits+ops.Ops[0].Misses == 0 {
+		t.Errorf("newest op has no cache outcome: %+v", ops.Ops[0])
+	}
+}
+
+// TestObservabilityNoTracing checks /debug/ops degrades cleanly when the
+// store was opened without a trace ring.
+func TestObservabilityNoTracing(t *testing.T) {
+	be := store.NewMem()
+	be.AddVolume(0, 0, 1<<20)
+	st, err := core.Open(be, core.Options{CacheBytes: 64 * block.Size, Variant: core.VariantC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	obs := NewObservability(st)
+	web := httptest.NewServer(obs.Handler())
+	defer web.Close()
+
+	body, _ := httpGet(t, web.URL+"/debug/ops")
+	var ops struct {
+		Sampled bool  `json:"sampled"`
+		Ops     []any `json:"ops"`
+	}
+	if err := json.Unmarshal([]byte(body), &ops); err != nil {
+		t.Fatal(err)
+	}
+	if ops.Sampled || len(ops.Ops) != 0 {
+		t.Errorf("untraced store: sampled=%v n=%d", ops.Sampled, len(ops.Ops))
+	}
+	// /metrics still works without server/resilience attachments.
+	metricsBody, _ := httpGet(t, web.URL+"/metrics")
+	if !strings.Contains(metricsBody, "sievestore_core_reads 0") {
+		t.Errorf("/metrics missing zero counters:\n%s", grepLines(metricsBody, "core_reads"))
+	}
+	if strings.Contains(metricsBody, "sievestore_server_") {
+		t.Error("/metrics has server metrics without AttachServer")
+	}
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

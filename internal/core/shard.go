@@ -139,9 +139,10 @@ func (sh *shard) alloc() []byte {
 }
 
 // maybeAdmit consults the sieve (VariantC) and installs the block on
-// approval. VariantD never admits continuously.
-func (sh *shard) maybeAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) {
-	sh.tryAdmit(key, data, kind, now, dirty)
+// approval, reporting whether it was admitted. VariantD never admits
+// continuously.
+func (sh *shard) maybeAdmit(key block.Key, data []byte, kind block.Kind, now time.Time, dirty bool) bool {
+	return sh.tryAdmit(key, data, kind, now, dirty)
 }
 
 // tryAdmit is maybeAdmit reporting whether the block was admitted.

@@ -94,9 +94,21 @@ type Options struct {
 	// authoritative), which is what the paper's appliance model implies.
 	WriteBack bool
 	// TrackLatency records whole-call ReadAt/WriteAt service times into
-	// Stats.ReadLatency/WriteLatency (a few atomic ops per call; off by
-	// default so trace replay stays allocation- and syscall-identical).
+	// Stats.ReadLatency/WriteLatency and the latency histograms returned
+	// by LatencyHistograms (a few atomic ops per call, allocation-free;
+	// off by default so trace replay stays allocation- and
+	// syscall-identical).
 	TrackLatency bool
+	// TraceSample enables sampled operation tracing: one in every
+	// TraceSample ReadAt/WriteAt calls records an OpTrace lifecycle record
+	// (arrival, shard, hit/miss/coalesce/admission counts, degraded-path
+	// flags, whole-call latency) into a fixed-size ring readable via
+	// Traces. 0 disables tracing; 1 traces every operation. The unsampled
+	// hot path costs one atomic add.
+	TraceSample int
+	// TraceRingSize is how many sampled trace records the ring retains
+	// (default 256).
+	TraceRingSize int
 	// DegradedFaultThreshold is how many consecutive cache-device faults
 	// (frame-write failures, see FrameFaultInjector) flip the store into
 	// pass-through bypass: reads and writes go straight to the backend —
@@ -165,6 +177,15 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if out.Epoch < time.Minute {
 		return out, fmt.Errorf("core: Epoch %v too short", out.Epoch)
+	}
+	if out.TraceSample < 0 {
+		return out, fmt.Errorf("core: TraceSample must be ≥0, got %d", out.TraceSample)
+	}
+	if out.TraceRingSize == 0 {
+		out.TraceRingSize = 256
+	}
+	if out.TraceRingSize < 1 {
+		return out, fmt.Errorf("core: TraceRingSize must be ≥1, got %d", out.TraceRingSize)
 	}
 	if out.DegradedFaultThreshold == 0 {
 		out.DegradedFaultThreshold = 3
@@ -263,6 +284,10 @@ var ErrClosed = errors.New("core: store is closed")
 // ErrAlignment rejects I/O that is not 512-byte aligned.
 var ErrAlignment = errors.New("core: offset and length must be multiples of 512")
 
+// ErrRange rejects I/O whose offset or extent exceeds the addressable
+// block range (block.MaxBlockNumber blocks per volume).
+var ErrRange = errors.New("core: request beyond addressable block range")
+
 // Store is a SieveStore cache instance. It is safe for concurrent use.
 //
 // Concurrency model: the cache is split into Options.Shards key-hash
@@ -330,8 +355,26 @@ type Store struct {
 
 	ownSpill string // temp dir to remove on Close, if any
 
-	latRead  metrics.OpLatency
-	latWrite metrics.OpLatency
+	// monoBase anchors latency timestamps: time.Since(monoBase) reads only
+	// the monotonic clock (one nanotime call), where time.Now() also reads
+	// the wall clock — roughly 4x the cost on the VMs this runs on. Latency
+	// tracking needs deltas, never wall time.
+	monoBase time.Time
+
+	// histRead/histWrite bucket whole-call service times into mergeable
+	// log-linear histograms (TrackLatency only) and are the single source
+	// of truth for latency accounting: Stats derives the flat
+	// OpLatencySnapshot (ops/total/max) from the histogram so the hot path
+	// pays one Observe, not two. Zero-value ready; Observe is
+	// allocation-free. errRead/errWrite count failed calls separately —
+	// the histogram buckets durations only.
+	histRead  metrics.Histogram
+	histWrite metrics.Histogram
+	errRead   atomic.Int64
+	errWrite  atomic.Int64
+
+	// trace is the sampled op-lifecycle ring (nil unless TraceSample > 0).
+	trace *metrics.TraceRing
 }
 
 // Open validates opts and returns a ready Store over backend.
@@ -350,9 +393,13 @@ func Open(backend Backend, opts Options) (*Store, error) {
 		shardMask: uint64(o.Shards - 1),
 		start:     now,
 		sieveBase: now,
+		monoBase:  time.Now(),
 	}
 	s.rotCond = sync.NewCond(&s.rotMu)
 	s.deadline.Store(math.MaxInt64)
+	if o.TraceSample > 0 {
+		s.trace = metrics.NewTraceRing(o.TraceRingSize, o.TraceSample)
+	}
 	caps := cache.PartitionCapacity(int(o.CacheBytes/block.Size), o.Shards)
 	s.shards = make([]*shard, o.Shards)
 	for i := range s.shards {
@@ -472,9 +519,20 @@ func (s *Store) Stats() Stats {
 	st.CacheFaults = s.cacheFaults.Load()
 	st.SpillDisables = s.spillDisables.Load()
 	st.Degraded = s.degraded.Load()
-	st.ReadLatency = s.latRead.Snapshot()
-	st.WriteLatency = s.latWrite.Snapshot()
+	st.ReadLatency = latencyFromHistogram(s.histRead.Snapshot(), s.errRead.Load())
+	st.WriteLatency = latencyFromHistogram(s.histWrite.Snapshot(), s.errWrite.Load())
 	return st
+}
+
+// latencyFromHistogram flattens a histogram snapshot into the wire-stable
+// OpLatencySnapshot shape, folding in the separately tracked error count.
+func latencyFromHistogram(h metrics.HistogramSnapshot, errs int64) metrics.OpLatencySnapshot {
+	return metrics.OpLatencySnapshot{
+		Ops:        h.Count,
+		Errors:     errs,
+		TotalNanos: h.Sum,
+		MaxNanos:   h.Max,
+	}
 }
 
 // Degraded reports whether the store is currently in cache-bypass mode.
@@ -518,7 +576,7 @@ func (s *Store) probeDue(last *atomic.Int64) bool {
 // else straight from the backend. No admission, no access logging, no
 // epoch rotation — the degraded store does the minimum that keeps clients
 // correct.
-func (s *Store) bypassRead(server, volume int, p []byte, off uint64) error {
+func (s *Store) bypassRead(server, volume int, p []byte, off uint64, tr *metrics.OpTrace) error {
 	nBlocks := len(p) / block.Size
 	first := off / block.Size
 	var servedDirty int64
@@ -568,6 +626,11 @@ func (s *Store) bypassRead(server, volume int, p []byte, off uint64) error {
 	sh.stats.BackendBytesServedRead += nBytes
 	sh.mu.Unlock()
 	s.bypassReads.Add(int64(nBlocks))
+	if tr != nil {
+		tr.Bypass = true
+		tr.Hits = int(servedDirty)
+		tr.Misses = nBlocks - int(servedDirty)
+	}
 	return err
 }
 
@@ -575,7 +638,7 @@ func (s *Store) bypassRead(server, volume int, p []byte, off uint64) error {
 // drops any cached copies of the written range — the cache is not being
 // maintained, so a stale resident frame (or an in-flight fetch of
 // pre-write data) must not survive to be served after recovery.
-func (s *Store) bypassWrite(server, volume int, p []byte, off uint64) error {
+func (s *Store) bypassWrite(server, volume int, p []byte, off uint64, tr *metrics.OpTrace) error {
 	nBlocks := len(p) / block.Size
 	first := off / block.Size
 	err := s.backend.WriteAt(server, volume, p, off)
@@ -591,6 +654,10 @@ func (s *Store) bypassWrite(server, volume int, p []byte, off uint64) error {
 		return err
 	}
 	s.bypassWrites.Add(int64(nBlocks))
+	if tr != nil {
+		tr.Bypass = true
+		tr.Misses = nBlocks
+	}
 	s.dropRange(server, volume, first, nBlocks)
 	return nil
 }
@@ -668,10 +735,17 @@ func (s *Store) Close() error {
 	return err
 }
 
-// checkIO validates request geometry.
+// checkIO validates request geometry. The block-range check matters for
+// requests arriving off the wire: block.MakeKey treats an out-of-range
+// component as a caller bug and panics, and a remote peer's stray offset
+// must surface as an error, not take the daemon down.
 func checkIO(p []byte, off uint64) error {
 	if off%block.Size != 0 || len(p)%block.Size != 0 || len(p) == 0 {
 		return ErrAlignment
+	}
+	end := off + uint64(len(p))
+	if end < off || (end-1)/block.Size > block.MaxBlockNumber {
+		return ErrRange
 	}
 	return nil
 }
@@ -689,16 +763,29 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 	if err := checkIO(p, off); err != nil {
 		return err
 	}
-	if s.opts.TrackLatency {
-		start := time.Now()
-		defer func() { s.latRead.Observe(time.Since(start), err != nil) }()
+	tr := s.beginTrace("read", server, volume, p, off)
+	if s.opts.TrackLatency || tr != nil {
+		start := time.Since(s.monoBase)
+		defer func() {
+			d := time.Since(s.monoBase) - start
+			if s.opts.TrackLatency {
+				s.histRead.Observe(d)
+				if err != nil {
+					s.errRead.Add(1)
+				}
+			}
+			s.endTrace(tr, d, err)
+		}()
 	}
 	if s.closed.Load() {
 		return ErrClosed
 	}
 	if s.degraded.Load() {
+		if tr != nil {
+			tr.Degraded = true
+		}
 		if !s.probeDue(&s.lastCacheProbe) {
-			return s.bypassRead(server, volume, p, off)
+			return s.bypassRead(server, volume, p, off, tr)
 		}
 		// This caller is the recovery probe: take the normal cached path,
 		// and leave bypass mode if it completes without a fresh cache fault.
@@ -727,6 +814,7 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 		sh  *shard
 	}
 	var mine, joined []miss
+	var admitted int
 
 	// Classify run-wise: each maximal run of consecutive blocks mapping to
 	// the same shard is handled in one critical section (with Shards=1 the
@@ -807,7 +895,9 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 			if j < okUpto {
 				data := p[m.idx*block.Size : (m.idx+1)*block.Size]
 				if !m.f.stale && !s.closed.Load() {
-					sh.maybeAdmit(m.key, data, block.Read, now, false)
+					if sh.maybeAdmit(m.key, data, block.Read, now, false) {
+						admitted++
+					}
 				}
 				m.f.publishLocked(data)
 			} else {
@@ -820,6 +910,12 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 		}
 		sh.mu.Unlock()
 		lo = hi
+	}
+	if tr != nil {
+		tr.Misses = len(mine)
+		tr.Coalesced = len(joined)
+		tr.Hits = nBlocks - len(mine) - len(joined)
+		tr.Admitted = admitted
 	}
 	if fetchErr != nil {
 		return fetchErr
@@ -940,16 +1036,29 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 	if err := checkIO(p, off); err != nil {
 		return err
 	}
-	if s.opts.TrackLatency {
-		start := time.Now()
-		defer func() { s.latWrite.Observe(time.Since(start), err != nil) }()
+	tr := s.beginTrace("write", server, volume, p, off)
+	if s.opts.TrackLatency || tr != nil {
+		start := time.Since(s.monoBase)
+		defer func() {
+			d := time.Since(s.monoBase) - start
+			if s.opts.TrackLatency {
+				s.histWrite.Observe(d)
+				if err != nil {
+					s.errWrite.Add(1)
+				}
+			}
+			s.endTrace(tr, d, err)
+		}()
 	}
 	if s.closed.Load() {
 		return ErrClosed
 	}
 	if s.degraded.Load() {
+		if tr != nil {
+			tr.Degraded = true
+		}
 		if !s.probeDue(&s.lastCacheProbe) {
-			return s.bypassWrite(server, volume, p, off)
+			return s.bypassWrite(server, volume, p, off, tr)
 		}
 		base := s.cacheFaults.Load()
 		defer func() {
@@ -993,6 +1102,7 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 		// Write-through: the backend is always authoritative. Write it
 		// first (unlocked), then fold the data into the cache shard by
 		// shard.
+		var hits, admitted int
 		werr := s.backend.WriteAt(server, volume, p, off)
 		for gi, g := range groups {
 			g.sh.mu.Lock()
@@ -1010,13 +1120,21 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 					if g.sh.tags.Touch(key) {
 						copy(g.sh.frames[key], data)
 						g.sh.stats.WriteHits++
+						hits++
 						continue
 					}
-					g.sh.maybeAdmit(key, data, block.Write, now, false)
+					if g.sh.maybeAdmit(key, data, block.Write, now, false) {
+						admitted++
+					}
 				}
 			}
 			g.sh.completeLocked(server, volume, first, g.idxs, flights, p, werr)
 			g.sh.mu.Unlock()
+		}
+		if tr != nil {
+			tr.Hits = hits
+			tr.Misses = nBlocks - hits
+			tr.Admitted = admitted
 		}
 		return werr
 	}
@@ -1028,6 +1146,7 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 	// already have drained this shard), must not park dirty data in the
 	// cache: it writes through instead.
 	through := make([]bool, nBlocks)
+	var hits, admitted int
 	for _, g := range groups {
 		g.sh.mu.Lock()
 		for _, i := range g.idxs {
@@ -1041,14 +1160,21 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 				copy(g.sh.frames[key], data)
 				g.sh.dirty[key] = true
 				g.sh.stats.WriteHits++
+				hits++
 				continue
 			}
 			if g.sh.tryAdmit(key, data, block.Write, now, true) {
+				admitted++
 				continue
 			}
 			through[i] = true
 		}
 		g.sh.mu.Unlock()
+	}
+	if tr != nil {
+		tr.Hits = hits
+		tr.Misses = nBlocks - hits
+		tr.Admitted = admitted
 	}
 
 	var werr error
@@ -1236,6 +1362,79 @@ func (s *Store) fetchBatch(keys []block.Key) (map[block.Key][]byte, int64, int64
 
 // now returns the injected current time.
 func (s *Store) now() time.Time { return s.opts.Now() }
+
+// beginTrace starts a sampled op-lifecycle record, or returns nil when
+// this operation is not sampled (the common case: one atomic add).
+func (s *Store) beginTrace(op string, server, volume int, p []byte, off uint64) *metrics.OpTrace {
+	if s.trace == nil || !s.trace.Sample() {
+		return nil
+	}
+	return &metrics.OpTrace{
+		StartNS: s.now().UnixNano(),
+		Op:      op,
+		Server:  server,
+		Volume:  volume,
+		Offset:  off,
+		Blocks:  len(p) / block.Size,
+		Shard:   s.shardIndex(block.MakeKey(server, volume, off/block.Size)),
+	}
+}
+
+// endTrace finishes and records a sampled trace (no-op for nil).
+func (s *Store) endTrace(tr *metrics.OpTrace, d time.Duration, err error) {
+	if tr == nil {
+		return
+	}
+	tr.LatencyNS = d.Nanoseconds()
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	s.trace.Record(*tr)
+}
+
+// Traces returns the sampled operation lifecycle records, newest first
+// (nil when Options.TraceSample is 0).
+func (s *Store) Traces() []metrics.OpTrace {
+	if s.trace == nil {
+		return nil
+	}
+	return s.trace.Dump()
+}
+
+// LatencyHistograms returns mergeable log-bucketed distributions of
+// whole-call ReadAt and WriteAt service times. Empty unless
+// Options.TrackLatency is set.
+func (s *Store) LatencyHistograms() (read, write metrics.HistogramSnapshot) {
+	return s.histRead.Snapshot(), s.histWrite.Snapshot()
+}
+
+// SieveStats sums the per-shard continuous-sieve (IMCT/MCT) counters.
+// All-zero for VariantD, which has no online sieve.
+func (s *Store) SieveStats() sieve.CStats {
+	var out sieve.CStats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.sieveC != nil {
+			st := sh.sieveC.Stats()
+			out.Misses += st.Misses
+			out.Promotions += st.Promotions
+			out.Allocations += st.Allocations
+			out.Pruned += st.Pruned
+			out.MCTSize += st.MCTSize
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// SpillStats returns the SieveStore-D access logger's partition stats;
+// ok is false for VariantC (no logger).
+func (s *Store) SpillStats() (st sieved.LoggerStats, ok bool) {
+	if s.logger == nil {
+		return sieved.LoggerStats{}, false
+	}
+	return s.logger.Stats(), true
+}
 
 // testLogHook, when non-nil, runs at the top of logAccess — tests use it
 // to stall the access-logging path and prove the hit path no longer
@@ -1560,6 +1759,9 @@ func (s *Store) Contains(server, volume int, off uint64) bool {
 func (s *Store) Invalidate(server, volume int, off uint64, length int) (int, error) {
 	if off%block.Size != 0 || length%block.Size != 0 || length <= 0 {
 		return 0, ErrAlignment
+	}
+	if end := off + uint64(length); end < off || (end-1)/block.Size > block.MaxBlockNumber {
+		return 0, ErrRange
 	}
 	if s.closed.Load() {
 		return 0, ErrClosed

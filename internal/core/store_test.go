@@ -108,6 +108,32 @@ func TestAlignmentEnforced(t *testing.T) {
 	}
 }
 
+// TestBlockRangeEnforced pins the fix for a remotely-triggerable panic
+// found by FuzzServerInput: offsets past the addressable block range used
+// to reach block.MakeKey, which panics on out-of-range components. They
+// must surface as ErrRange instead.
+func TestBlockRangeEnforced(t *testing.T) {
+	s := openC(t, newFakeClock())
+	buf := make([]byte, block.Size)
+	beyond := uint64(block.MaxBlockNumber+1) * block.Size
+	for _, off := range []uint64{beyond, ^uint64(0) - block.Size + 1} {
+		if err := s.ReadAt(0, 0, buf, off); !errors.Is(err, ErrRange) {
+			t.Errorf("read at %#x: %v", off, err)
+		}
+		if err := s.WriteAt(0, 0, buf, off); !errors.Is(err, ErrRange) {
+			t.Errorf("write at %#x: %v", off, err)
+		}
+		if _, err := s.Invalidate(0, 0, off, block.Size); !errors.Is(err, ErrRange) {
+			t.Errorf("invalidate at %#x: %v", off, err)
+		}
+	}
+	// The last addressable block is still valid geometry (the backend will
+	// reject it if the volume is smaller, but never by panicking).
+	if err := s.ReadAt(0, 0, buf, beyond-block.Size); errors.Is(err, ErrRange) {
+		t.Error("last addressable block rejected as out of range")
+	}
+}
+
 func TestWriteThroughAndReadBack(t *testing.T) {
 	clk := newFakeClock()
 	be := testBackend()

@@ -58,20 +58,33 @@ type OpLatencySnapshot struct {
 	MaxNanos   int64 // worst single operation
 }
 
-// Mean returns the average service time (0 if no operations).
+// Mean returns the average service time. A snapshot with no operations —
+// or a nonsensical one (negative Ops from a corrupt merge or hand-built
+// value) — yields 0 rather than dividing by zero or reporting a negative
+// duration.
 func (s OpLatencySnapshot) Mean() time.Duration {
-	if s.Ops == 0 {
+	if s.Ops <= 0 {
 		return 0
 	}
 	return time.Duration(s.TotalNanos / s.Ops)
 }
 
 // Throughput returns operations per second over a wall-clock window.
+// A zero, negative, or sub-nanosecond window, or a negative op count,
+// yields 0 — never Inf or NaN.
 func (s OpLatencySnapshot) Throughput(elapsed time.Duration) float64 {
-	if elapsed <= 0 {
+	if elapsed <= 0 || s.Ops < 0 {
 		return 0
 	}
 	return float64(s.Ops) / elapsed.Seconds()
+}
+
+// ErrorRate returns the fraction of operations that failed (0 if empty).
+func (s OpLatencySnapshot) ErrorRate() float64 {
+	if s.Ops <= 0 {
+		return 0
+	}
+	return float64(s.Errors) / float64(s.Ops)
 }
 
 // Add merges two snapshots (e.g. across striped appliance nodes).

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// OpTrace is one sampled operation's lifecycle record: where the request
+// went (shard, cache, sieve, backend) and what it cost. Counts are in
+// 512-byte blocks.
+type OpTrace struct {
+	Seq       uint64 `json:"seq"`                // monotone per-ring sequence
+	StartNS   int64  `json:"start_unix_ns"`      // arrival, UnixNano
+	Op        string `json:"op"`                 // "read" or "write"
+	Server    int    `json:"server"`             //
+	Volume    int    `json:"volume"`             //
+	Offset    uint64 `json:"offset"`             // byte offset
+	Blocks    int    `json:"blocks"`             // request size in blocks
+	Shard     int    `json:"shard"`              // shard of the first block
+	Hits      int    `json:"hits"`               // blocks served/updated in cache
+	Misses    int    `json:"misses"`             // blocks this op fetched/wrote through
+	Coalesced int    `json:"coalesced"`          // blocks joined onto another op's flight
+	Admitted  int    `json:"admitted"`           // blocks the sieve admitted (alloc writes)
+	Bypass    bool   `json:"bypass,omitempty"`   // served on the degraded pass-through path
+	Degraded  bool   `json:"degraded,omitempty"` // store was degraded at arrival (probe ops)
+	Err       string `json:"err,omitempty"`      // operation error, if any
+	LatencyNS int64  `json:"latency_ns"`         // whole-call service time
+}
+
+// TraceRing is a fixed-size ring of sampled OpTrace records. Sampling is
+// an atomic counter (Sample returns true for one in every sampleEvery
+// calls — the unsampled hot path costs one atomic add); recording a
+// sampled op takes a mutex, which is off the common path by construction.
+// The zero-size ring is invalid; use NewTraceRing.
+type TraceRing struct {
+	sampleEvery uint64
+	ctr         atomic.Uint64
+	seq         atomic.Uint64
+
+	mu   sync.Mutex
+	recs []OpTrace
+	n    int // records written, saturating at len(recs)
+	next int // ring cursor
+}
+
+// NewTraceRing returns a ring holding the last size sampled records,
+// sampling one in every sampleEvery operations (1 = every op).
+func NewTraceRing(size int, sampleEvery int) *TraceRing {
+	if size < 1 {
+		size = 1
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &TraceRing{sampleEvery: uint64(sampleEvery), recs: make([]OpTrace, size)}
+}
+
+// Sample reports whether the current operation should be traced.
+func (t *TraceRing) Sample() bool {
+	if t.sampleEvery == 1 {
+		return true
+	}
+	return t.ctr.Add(1)%t.sampleEvery == 0
+}
+
+// Record stores rec in the ring, stamping its sequence number.
+func (t *TraceRing) Record(rec OpTrace) {
+	rec.Seq = t.seq.Add(1)
+	t.mu.Lock()
+	t.recs[t.next] = rec
+	t.next = (t.next + 1) % len(t.recs)
+	if t.n < len(t.recs) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Dump returns the ring's records, newest first.
+func (t *TraceRing) Dump() []OpTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]OpTrace, 0, t.n)
+	for i := 1; i <= t.n; i++ {
+		out = append(out, t.recs[(t.next-i+len(t.recs))%len(t.recs)])
+	}
+	return out
+}
+
+// Len returns how many records the ring currently holds.
+func (t *TraceRing) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}

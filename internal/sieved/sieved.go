@@ -246,6 +246,34 @@ func (l *Logger) TupleCount() int64 {
 	return total
 }
 
+// LoggerStats reports the access log's footprint across its partitions —
+// the observability layer exports these as gauges.
+type LoggerStats struct {
+	Partitions         int   // partition file count
+	Tuples             int64 // live tuples across all partitions
+	MaxPartitionTuples int64 // largest single partition (hash-skew indicator)
+	PendingEpochs      int64 // partitions holding a Select mark not yet Reset
+}
+
+// Stats snapshots the logger's partition counters.
+func (l *Logger) Stats() LoggerStats {
+	st := LoggerStats{Partitions: len(l.parts)}
+	for _, part := range l.parts {
+		part.mu.Lock()
+		t := part.tuples
+		marked := part.mark >= 0
+		part.mu.Unlock()
+		st.Tuples += t
+		if t > st.MaxPartitionTuples {
+			st.MaxPartitionTuples = t
+		}
+		if marked {
+			st.PendingEpochs++
+		}
+	}
+	return st
+}
+
 // tuple is one <address, count> record.
 type tuple struct {
 	key   block.Key
