@@ -693,79 +693,88 @@ func BenchmarkConcurrentAppliance(b *testing.B) {
 // backend I/O happens inside the measured loop; the only scaling limiter
 // is lock contention. Run with -cpu 1,2,4,8 and vary Shards to see the
 // per-shard-lock effect; BenchmarkConcurrentStore covers the miss path.
+//
+// The policy dimension compares replacement engines on the hit path: LRU
+// does list surgery under the shard lock on every hit, SIEVE only sets a
+// visited bit, so SIEVE should be at least as fast — the gap is the price
+// of recency bookkeeping, and it grows with contention (fewer shards,
+// more CPUs).
 func BenchmarkHitPathParallel(b *testing.B) {
 	for _, shards := range []int{1, 8} {
-		for _, mix := range []struct {
-			name   string
-			writes bool
-		}{{"read", false}, {"readwrite", true}} {
-			// metrics=on adds the full observability cost to every op:
-			// two monotonic clock reads, the striped latency histogram
-			// (which also backs the flat OpLatency stats), and 1-in-64
-			// op-trace sampling. The acceptance bar is <5% regression
-			// against the seed's TrackLatency-only path; the gap against
-			// metrics=off is dominated by the clock reads, which any
-			// latency measurement pays.
-			for _, obs := range []struct {
-				name  string
-				track bool
-			}{{"metrics=off", false}, {"metrics=on", true}} {
-				b.Run(fmt.Sprintf("shards=%d/%s/%s", shards, mix.name, obs.name), func(b *testing.B) {
-					const span = 4096 // resident blocks
-					be := store.NewMem()
-					be.AddVolume(0, 0, 2*span*block.Size)
-					opts := core.Options{
-						CacheBytes: 2 * span * block.Size,
-						Shards:     shards,
-						SieveC:     sieve.CConfig{IMCTSize: 1 << 14, T1: 1, T2: 1, Window: time.Hour, Subwindows: 4},
-					}
-					if obs.track {
-						opts.TrackLatency = true
-						opts.TraceSample = 64
-					}
-					st, err := core.Open(be, opts)
-					if err != nil {
-						b.Fatal(err)
-					}
-					defer st.Close()
-					buf := make([]byte, block.Size)
-					// Heat every block (T1=1,T2=1 admits on the 2nd miss).
-					for pass := 0; pass < 3; pass++ {
-						for blk := uint64(0); blk < span; blk++ {
-							if err := st.ReadAt(0, 0, buf, blk*block.Size); err != nil {
-								b.Fatal(err)
-							}
+		for _, policy := range []string{"lru", "sieve"} {
+			for _, mix := range []struct {
+				name   string
+				writes bool
+			}{{"read", false}, {"readwrite", true}} {
+				// metrics=on adds the full observability cost to every op:
+				// two monotonic clock reads, the striped latency histogram
+				// (which also backs the flat OpLatency stats), and 1-in-64
+				// op-trace sampling. The acceptance bar is <5% regression
+				// against the seed's TrackLatency-only path; the gap against
+				// metrics=off is dominated by the clock reads, which any
+				// latency measurement pays.
+				for _, obs := range []struct {
+					name  string
+					track bool
+				}{{"metrics=off", false}, {"metrics=on", true}} {
+					b.Run(fmt.Sprintf("shards=%d/policy=%s/%s/%s", shards, policy, mix.name, obs.name), func(b *testing.B) {
+						const span = 4096 // resident blocks
+						be := store.NewMem()
+						be.AddVolume(0, 0, 2*span*block.Size)
+						opts := core.Options{
+							CacheBytes: 2 * span * block.Size,
+							Shards:     shards,
+							Policy:     policy,
+							SieveC:     sieve.CConfig{IMCTSize: 1 << 14, T1: 1, T2: 1, Window: time.Hour, Subwindows: 4},
 						}
-					}
-					if got := st.Stats().CachedBlocks; got < span {
-						b.Fatalf("setup: only %d/%d blocks cached", got, span)
-					}
-					b.SetBytes(block.Size)
-					var worker atomic.Uint64
-					b.ResetTimer()
-					b.RunParallel(func(pb *testing.PB) {
-						p := make([]byte, block.Size)
-						// Distinct seed per worker so goroutines don't walk the
-						// same block sequence (and thus the same shards) in near
-						// lockstep.
-						x := (worker.Add(1) + 1) * 0x9e3779b97f4a7c15
-						for pb.Next() {
-							x ^= x << 13
-							x ^= x >> 7
-							x ^= x << 17
-							blk := x % span
-							if mix.writes && x%8 == 0 {
-								if err := st.WriteAt(0, 0, p, blk*block.Size); err != nil {
+						if obs.track {
+							opts.TrackLatency = true
+							opts.TraceSample = 64
+						}
+						st, err := core.Open(be, opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						defer st.Close()
+						buf := make([]byte, block.Size)
+						// Heat every block (T1=1,T2=1 admits on the 2nd miss).
+						for pass := 0; pass < 3; pass++ {
+							for blk := uint64(0); blk < span; blk++ {
+								if err := st.ReadAt(0, 0, buf, blk*block.Size); err != nil {
 									b.Fatal(err)
 								}
-								continue
-							}
-							if err := st.ReadAt(0, 0, p, blk*block.Size); err != nil {
-								b.Fatal(err)
 							}
 						}
+						if got := st.Stats().CachedBlocks; got < span {
+							b.Fatalf("setup: only %d/%d blocks cached", got, span)
+						}
+						b.SetBytes(block.Size)
+						var worker atomic.Uint64
+						b.ResetTimer()
+						b.RunParallel(func(pb *testing.PB) {
+							p := make([]byte, block.Size)
+							// Distinct seed per worker so goroutines don't walk the
+							// same block sequence (and thus the same shards) in near
+							// lockstep.
+							x := (worker.Add(1) + 1) * 0x9e3779b97f4a7c15
+							for pb.Next() {
+								x ^= x << 13
+								x ^= x >> 7
+								x ^= x << 17
+								blk := x % span
+								if mix.writes && x%8 == 0 {
+									if err := st.WriteAt(0, 0, p, blk*block.Size); err != nil {
+										b.Fatal(err)
+									}
+									continue
+								}
+								if err := st.ReadAt(0, 0, p, blk*block.Size); err != nil {
+									b.Fatal(err)
+								}
+							}
+						})
 					})
-				})
+				}
 			}
 		}
 	}

@@ -10,6 +10,7 @@
 // Usage:
 //
 //	appliance -listen :9000 -cache-mb 64 -servers 4 -volume-mb 1024
+//	appliance -listen :9000 -policy sieve -shards 8
 //	appliance -listen :9000 -variant d -epoch 24h -snapshot /var/lib/sieve.snap
 //	appliance -listen :9000 -shards 8 -pprof 127.0.0.1:6060 -mutex-profile-fraction 5
 //	appliance -listen :9000 -backend-timeout 2s -retries 3 -max-conns 256 -idle-timeout 5m
@@ -42,6 +43,7 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:9000", "TCP listen address")
 		cacheMB   = flag.Int64("cache-mb", 64, "cache size in MiB")
 		variant   = flag.String("variant", "c", "sieve variant: c or d")
+		policy    = flag.String("policy", "lru", "cache eviction policy: lru, sieve, s3fifo, fifo, or clock")
 		epoch     = flag.Duration("epoch", 24*time.Hour, "SieveStore-D epoch length")
 		threshold = flag.Int64("threshold", 10, "SieveStore-D epoch access-count threshold")
 		writeBack = flag.Bool("writeback", false, "enable write-back caching")
@@ -121,6 +123,7 @@ func main() {
 		WriteBack:     *writeBack,
 		TrackLatency:  *trackLat,
 		Shards:        nShards,
+		Policy:        *policy,
 		TraceSample:   *traceSample,
 		TraceRingSize: *traceRing,
 	}
@@ -174,8 +177,8 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*listen) }()
-	log.Printf("%s serving on %s (cache %d MiB, %d shards, %d servers × %d MiB, write-back=%v)",
-		st.Variant(), *listen, *cacheMB, st.Shards(), *servers, *volumeMB, *writeBack)
+	log.Printf("%s serving on %s (cache %d MiB, policy %s, %d shards, %d servers × %d MiB, write-back=%v)",
+		st.Variant(), *listen, *cacheMB, st.Policy(), st.Shards(), *servers, *volumeMB, *writeBack)
 
 	if *statsEach > 0 {
 		go func() {
@@ -184,6 +187,9 @@ func main() {
 				line := fmt.Sprintf("stats: accesses=%d hit=%.1f%% cached=%d/%d dirty=%d allocW=%d epochs=%d coalesced=%d",
 					s.Reads+s.Writes, 100*s.HitRatio(), s.CachedBlocks, s.CapacityBlocks,
 					s.DirtyBlocks, s.AllocWrites, s.Epochs, s.CoalescedReads)
+				if s.SelectOverflow > 0 {
+					line += fmt.Sprintf(" selOverflow=%d", s.SelectOverflow)
+				}
 				if s.FlushErrors > 0 || s.RotateFailures > 0 || s.ResetFailures > 0 {
 					line += fmt.Sprintf(" flushErr=%d rotateFail=%d resetFail=%d",
 						s.FlushErrors, s.RotateFailures, s.ResetFailures)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/resilience"
@@ -81,6 +82,7 @@ func NewObservability(st *core.Store) *Observability {
 	c("degraded_exits", func(s core.Stats) int64 { return s.DegradedExits })
 	c("cache_faults", func(s core.Stats) int64 { return s.CacheFaults })
 	c("spill_disables", func(s core.Stats) int64 { return s.SpillDisables })
+	c("select_overflow", func(s core.Stats) int64 { return s.SelectOverflow })
 	c("backend_bytes_read", func(s core.Stats) int64 { return s.BackendBytesRead })
 	c("backend_bytes_written", func(s core.Stats) int64 { return s.BackendBytesWritten })
 	c("cache_bytes_served", func(s core.Stats) int64 { return s.CacheBytesServed })
@@ -99,6 +101,32 @@ func NewObservability(st *core.Store) *Observability {
 		}
 		return 0
 	})
+
+	// The active eviction policy, info-style: one series per registered
+	// policy, 1 on the active one, and the eviction counter attributed to
+	// it (the registry has no labels, so the policy name lives in the
+	// metric name — sievestore_core_policy_evictions_sieve etc.).
+	active := st.Policy()
+	for _, flag := range cache.PolicyNames() {
+		flag := flag
+		p, err := cache.NewPolicy(flag, 1)
+		if err != nil {
+			continue
+		}
+		isActive := p.Name() == active
+		r.Gauge("sievestore.core.policy."+flag, func() float64 {
+			if isActive {
+				return 1
+			}
+			return 0
+		})
+		r.Counter("sievestore.core.policy_evictions."+flag, func() int64 {
+			if !isActive {
+				return 0
+			}
+			return o.coreStats().Evictions
+		})
+	}
 
 	r.Histogram("sievestore.core.read_latency", func() metrics.HistogramSnapshot {
 		rd, _ := st.LatencyHistograms()
@@ -196,6 +224,7 @@ func (o *Observability) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		body := map[string]any{
 			"variant":        o.store.Variant().String(),
+			"policy":         o.store.Policy(),
 			"shards":         o.store.Shards(),
 			"uptime_seconds": o.now().Sub(o.start).Seconds(),
 			"metrics":        o.Registry.JSONStatus(),

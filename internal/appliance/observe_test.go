@@ -121,6 +121,10 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		"# TYPE sievestore_resilience_retries counter",
 		"# TYPE sievestore_sieve_misses counter",
 		"sievestore_uptime_seconds",
+		"# TYPE sievestore_core_select_overflow counter",
+		"sievestore_core_policy_lru 1",
+		"sievestore_core_policy_sieve 0",
+		"# TYPE sievestore_core_policy_evictions_lru counter",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -144,6 +148,7 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	}
 	var status struct {
 		Variant string         `json:"variant"`
+		Policy  string         `json:"policy"`
 		Shards  int            `json:"shards"`
 		Uptime  float64        `json:"uptime_seconds"`
 		Metrics map[string]any `json:"metrics"`
@@ -153,6 +158,9 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	}
 	if status.Variant != "SieveStore-C" || status.Shards != st.Shards() {
 		t.Errorf("/statusz header = %+v", status)
+	}
+	if status.Policy != st.Policy() {
+		t.Errorf("/statusz policy = %q, want %q", status.Policy, st.Policy())
 	}
 	if got := status.Metrics["sievestore.core.reads"].(float64); got != float64(stats.Reads) {
 		t.Errorf("/statusz reads = %v, want %d", got, stats.Reads)
@@ -213,7 +221,7 @@ func TestObservabilityEndToEnd(t *testing.T) {
 func TestObservabilityNoTracing(t *testing.T) {
 	be := store.NewMem()
 	be.AddVolume(0, 0, 1<<20)
-	st, err := core.Open(be, core.Options{CacheBytes: 64 * block.Size, Variant: core.VariantC})
+	st, err := core.Open(be, core.Options{CacheBytes: 64 * block.Size, Variant: core.VariantC, Policy: "sieve"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,6 +248,17 @@ func TestObservabilityNoTracing(t *testing.T) {
 	}
 	if strings.Contains(metricsBody, "sievestore_server_") {
 		t.Error("/metrics has server metrics without AttachServer")
+	}
+	// The policy info series follow the configured engine: SIEVE active,
+	// LRU inactive, and evictions attributed to the SIEVE series only.
+	for _, want := range []string{
+		"sievestore_core_policy_sieve 1",
+		"sievestore_core_policy_lru 0",
+		"sievestore_core_policy_evictions_lru 0",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, grepLines(metricsBody, "policy"))
+		}
 	}
 }
 

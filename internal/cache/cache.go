@@ -117,6 +117,9 @@ func (c *Cache) LRU() (block.Key, bool) {
 	return c.tail.prev.key, true
 }
 
+// Victim implements Policy; for LRU it is the tail of the recency list.
+func (c *Cache) Victim() (block.Key, bool) { return c.LRU() }
+
 // Keys returns the resident blocks from MRU to LRU.
 func (c *Cache) Keys() []block.Key {
 	out := make([]block.Key, 0, len(c.table))
@@ -133,9 +136,12 @@ func (c *Cache) Keys() []block.Key {
 // allocation "cancel" for blocks retained across epochs (§3.2) — plus the
 // keys that were evicted, so callers tracking per-block state (frames,
 // dirty bits) can reclaim theirs in the same pass. Keys beyond capacity
-// are ignored.
-func (c *Cache) Swap(keys []block.Key) (moved int, evicted []block.Key) {
-	if len(keys) > c.capacity {
+// cannot be installed; they are dropped from the cold tail and counted in
+// overflow so callers can surface the loss (core tracks it in
+// Stats.SelectOverflow).
+func (c *Cache) Swap(keys []block.Key) (moved int, evicted []block.Key, overflow int) {
+	if over := len(keys) - c.capacity; over > 0 {
+		overflow = over
 		keys = keys[:c.capacity]
 	}
 	incoming := make(map[block.Key]bool, len(keys))
@@ -161,12 +167,14 @@ func (c *Cache) Swap(keys []block.Key) (moved int, evicted []block.Key) {
 		}
 		c.Insert(keys[i])
 	}
-	return moved, evicted
+	return moved, evicted, overflow
 }
 
-// ReplaceAll is Swap for callers that do not need the evicted keys.
+// ReplaceAll is Swap for callers that do not need the evicted keys or the
+// overflow count (the sim's discrete epochs, whose selections are sized
+// to capacity).
 func (c *Cache) ReplaceAll(keys []block.Key) (moved int) {
-	moved, _ = c.Swap(keys)
+	moved, _, _ = c.Swap(keys)
 	return moved
 }
 

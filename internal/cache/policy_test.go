@@ -1,0 +1,323 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+)
+
+// newPolicies builds one instance of every engine at the given capacity.
+func newPolicies(capacity int) []Policy {
+	return []Policy{
+		New(capacity), NewSieve(capacity), NewS3FIFO(capacity),
+		NewFIFO(capacity), NewClock(capacity),
+	}
+}
+
+func TestNewPolicyRegistry(t *testing.T) {
+	want := map[string]string{
+		"":        "LRU",
+		"lru":     "LRU",
+		"LRU":     "LRU",
+		"sieve":   "SIEVE",
+		"SIEVE":   "SIEVE",
+		"s3fifo":  "S3-FIFO",
+		"s3-fifo": "S3-FIFO",
+		"fifo":    "FIFO",
+		"clock":   "CLOCK",
+	}
+	for arg, name := range want {
+		p, err := NewPolicy(arg, 8)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", arg, err)
+		}
+		if p.Name() != name || p.Capacity() != 8 {
+			t.Errorf("NewPolicy(%q) = %s/%d, want %s/8", arg, p.Name(), p.Capacity(), name)
+		}
+	}
+	if _, err := NewPolicy("arc", 8); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	for _, name := range PolicyNames() {
+		if _, err := NewPolicy(name, 4); err != nil {
+			t.Errorf("PolicyNames entry %q not constructible: %v", name, err)
+		}
+	}
+}
+
+// TestDuplicateInsertSemantics pins the duplicate-insert contract across
+// every engine: Insert on a resident key must behave exactly as Touch —
+// same return, no allocation, no eviction, and (run against a twin
+// instance that used Touch instead) an identical eviction future.
+func TestDuplicateInsertSemantics(t *testing.T) {
+	const capacity = 8
+	for pi, name := range []string{"lru", "sieve", "s3fifo", "fifo", "clock"} {
+		t.Run(name, func(t *testing.T) {
+			touched, _ := NewPolicy(name, capacity)
+			inserted, _ := NewPolicy(name, capacity)
+			rng := rand.New(rand.NewSource(int64(100 + pi)))
+			next := uint64(0)
+			fill := func(p Policy) {
+				for i := uint64(0); i < capacity; i++ {
+					p.Insert(key(i))
+				}
+			}
+			fill(touched)
+			fill(inserted)
+			next = capacity
+			for round := 0; round < 2000; round++ {
+				// Hit a random resident key: one twin via Touch, the other
+				// via duplicate Insert.
+				keys := touched.Keys()
+				r := keys[rng.Intn(len(keys))]
+				if !inserted.Contains(r) {
+					t.Fatalf("round %d: twins diverged on residency of %v", round, r)
+				}
+				if !touched.Touch(r) {
+					t.Fatalf("round %d: Touch(%v) missed", round, r)
+				}
+				ev, wasEv := inserted.Insert(r)
+				if wasEv || ev != 0 {
+					t.Fatalf("round %d: duplicate Insert(%v) evicted %v", round, r, ev)
+				}
+				if inserted.Len() != touched.Len() {
+					t.Fatalf("round %d: duplicate Insert changed Len to %d", round, inserted.Len())
+				}
+				// Now force an eviction in both: the twins must evict the
+				// same victim, proving the duplicate Insert carried exactly
+				// Touch's state change.
+				next++
+				evT, okT := touched.Insert(key(next))
+				evI, okI := inserted.Insert(key(next))
+				if okT != okI || evT != evI {
+					t.Fatalf("round %d: eviction diverged: Touch-twin (%v,%v) vs Insert-twin (%v,%v)",
+						round, evT, okT, evI, okI)
+				}
+			}
+		})
+	}
+}
+
+// TestVictimMatchesInsert pins the Victim contract: at capacity, the key
+// Victim reports is exactly what the next Insert evicts — including for
+// the sweeping policies (SIEVE, CLOCK, S3-FIFO) whose Victim advances
+// hands and clears bits the way the eviction itself would.
+func TestVictimMatchesInsert(t *testing.T) {
+	const capacity = 16
+	for _, p := range newPolicies(capacity) {
+		t.Run(p.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for i := uint64(0); i < capacity; i++ {
+				p.Insert(key(i))
+			}
+			next := uint64(capacity)
+			for round := 0; round < 1000; round++ {
+				// Random touches to move the recency/visited state around.
+				for j := 0; j < rng.Intn(4); j++ {
+					keys := p.Keys()
+					p.Touch(keys[rng.Intn(len(keys))])
+				}
+				v, ok := p.Victim()
+				if !ok {
+					t.Fatalf("round %d: no victim at capacity", round)
+				}
+				next++
+				evicted, wasEvicted := p.Insert(key(next))
+				if !wasEvicted || evicted != v {
+					t.Fatalf("round %d: Victim said %v, Insert evicted %v (ok=%v)",
+						round, v, evicted, wasEvicted)
+				}
+			}
+		})
+	}
+}
+
+// TestSwapContract exercises Policy.Swap on every engine: exact final
+// set, hottest prefix kept, overflow counted (never silently dropped),
+// moved counting only true move-ins, and evicted covering everything
+// that left.
+func TestSwapContract(t *testing.T) {
+	const capacity = 8
+	for _, p := range newPolicies(capacity) {
+		t.Run(p.Name(), func(t *testing.T) {
+			for i := uint64(0); i < capacity; i++ {
+				p.Insert(key(i))
+			}
+			// Keep 4 residents (0..3), add 6 fresh (100..105): 10 keys into
+			// 8 slots → overflow 2, and the dropped tail must be the cold
+			// end of the slice, not the hot prefix.
+			sel := []block.Key{
+				key(100), key(0), key(101), key(1), key(102), key(2),
+				key(103), key(3), key(104), key(105),
+			}
+			moved, evicted, overflow := p.Swap(sel)
+			if overflow != 2 {
+				t.Fatalf("overflow = %d, want 2", overflow)
+			}
+			if moved != 4 {
+				t.Errorf("moved = %d, want 4 (100..103 move in; 0..3 are retained)", moved)
+			}
+			if p.Len() != capacity {
+				t.Fatalf("Len = %d, want %d", p.Len(), capacity)
+			}
+			for _, k := range sel[:capacity] {
+				if !p.Contains(k) {
+					t.Errorf("installed prefix key %v missing", k)
+				}
+			}
+			for _, k := range sel[capacity:] {
+				if p.Contains(k) {
+					t.Errorf("overflow key %v resident", k)
+				}
+			}
+			// 4..7 left; their frames' owners must learn it.
+			got := make(map[block.Key]bool)
+			for _, k := range evicted {
+				got[k] = true
+			}
+			for i := uint64(4); i < capacity; i++ {
+				if !got[key(i)] {
+					t.Errorf("evicted list missing %v: %v", key(i), evicted)
+				}
+			}
+			// A second identical swap moves nothing and overflows the same.
+			moved, evicted, overflow = p.Swap(sel)
+			if moved != 0 || len(evicted) != 0 || overflow != 2 {
+				t.Errorf("idempotent swap: moved=%d evicted=%v overflow=%d", moved, evicted, overflow)
+			}
+		})
+	}
+}
+
+func TestSieveEvictionOrder(t *testing.T) {
+	s := NewSieve(3)
+	s.Insert(key(1))
+	s.Insert(key(2))
+	s.Insert(key(3))
+	// Only key 1 (the oldest) is visited: the hand clears its bit and
+	// evicts the next unvisited block toward the head, key 2.
+	if !s.Touch(key(1)) {
+		t.Fatal("key 1 lost")
+	}
+	if ev, ok := s.Insert(key(4)); !ok || ev != key(2) {
+		t.Fatalf("evicted %v, want key 2 (key 1 spent its visited bit)", ev)
+	}
+	// The hand now rests past key 2's slot at key 3; key 1's bit is spent,
+	// so the next eviction takes key 3.
+	if ev, ok := s.Insert(key(5)); !ok || ev != key(3) {
+		t.Fatalf("evicted %v, want key 3", ev)
+	}
+	for _, k := range []uint64{1, 4, 5} {
+		if !s.Contains(key(k)) {
+			t.Errorf("key %d missing", k)
+		}
+	}
+}
+
+func TestSieveHandRepairOnRemove(t *testing.T) {
+	s := NewSieve(4)
+	for i := uint64(1); i <= 4; i++ {
+		s.Insert(key(i))
+	}
+	// Park the hand on the victim, then Remove that exact key: the hand
+	// must advance (toward newer) rather than dangle.
+	v, _ := s.Victim()
+	if !s.Remove(v) {
+		t.Fatal("victim not resident")
+	}
+	// Insert + evict repeatedly; no crash and no over-capacity.
+	for i := uint64(10); i < 30; i++ {
+		s.Insert(key(i))
+		if s.Len() > s.Capacity() {
+			t.Fatalf("over capacity after removing the hand's block")
+		}
+	}
+	// Remove the newest block while the hand sits on it (hand wraps).
+	s2 := NewSieve(2)
+	s2.Insert(key(1))
+	s2.Insert(key(2))
+	s2.Touch(key(1))
+	if v, _ := s2.Victim(); v != key(2) {
+		t.Fatalf("victim = %v, want key 2", v)
+	}
+	// Hand is on key 2; removing it forces the wrap-to-nil repair path.
+	s2.Remove(key(2))
+	if ev, ok := s2.Insert(key(3)); ok {
+		t.Fatalf("eviction %v from non-full sieve", ev)
+	}
+	if ev, ok := s2.Insert(key(4)); !ok || ev != key(1) {
+		t.Fatalf("evicted %v, want key 1 (visited bit spent at Victim)", ev)
+	}
+}
+
+func TestSieveKeepsHotBlockUnderStorm(t *testing.T) {
+	// A block touched between insertions survives an insertion storm under
+	// SIEVE (its visited bit is refreshed every lap) — the property that
+	// lets SIEVE match LRU on the skewed workloads the sieve admits.
+	hot := key(999)
+	s := NewSieve(8)
+	s.Insert(hot)
+	for i := uint64(0); i < 100; i++ {
+		s.Touch(hot)
+		s.Insert(key(i))
+	}
+	if !s.Contains(hot) {
+		t.Error("SIEVE evicted the constantly-touched block")
+	}
+}
+
+func TestS3FIFOGhostPromotesToMain(t *testing.T) {
+	s := NewS3FIFO(10) // small target 1, main 9, ghost 9
+	for i := uint64(0); i < 10; i++ {
+		s.Insert(key(i))
+	}
+	// Key 0 is the small queue's oldest and unaccessed: one more insert
+	// demotes it quickly — but the ghost remembers it.
+	if ev, ok := s.Insert(key(100)); !ok || ev != key(0) {
+		t.Fatalf("evicted %v, want key 0", ev)
+	}
+	// Its return is a ghost hit: key 0 re-enters straight into main and
+	// now survives a storm of one-hit wonders churning the small queue.
+	s.Insert(key(0))
+	for i := uint64(200); i < 208; i++ {
+		s.Insert(key(i))
+	}
+	if !s.Contains(key(0)) {
+		t.Error("ghost-readmitted block did not survive in main")
+	}
+}
+
+func TestS3FIFOGhostStaysBounded(t *testing.T) {
+	s := NewS3FIFO(20)
+	for i := uint64(0); i < 100000; i++ {
+		s.Insert(key(i))
+	}
+	gcap := s.ghostCap()
+	if len(s.ghost) > gcap {
+		t.Errorf("ghost map has %d entries, cap %d", len(s.ghost), gcap)
+	}
+	if len(s.ghostQ) > 2*gcap {
+		t.Errorf("ghost queue has %d slots, want ≤ %d", len(s.ghostQ), 2*gcap)
+	}
+}
+
+func TestS3FIFOPromotionOnAccess(t *testing.T) {
+	// A probationary block that IS accessed gets promoted to main at
+	// small-queue eviction time instead of being demoted.
+	s := NewS3FIFO(10)
+	for i := uint64(0); i < 10; i++ {
+		s.Insert(key(i))
+	}
+	s.Touch(key(0)) // oldest small entry, now freq>0
+	ev, ok := s.Insert(key(100))
+	if !ok {
+		t.Fatal("no eviction at capacity")
+	}
+	if ev == key(0) {
+		t.Error("accessed probationary block was evicted, not promoted")
+	}
+	if !s.Contains(key(0)) {
+		t.Error("promoted block missing")
+	}
+}

@@ -32,20 +32,25 @@ func TestFIFOBasics(t *testing.T) {
 }
 
 func TestFIFOQueueCompaction(t *testing.T) {
+	// The queue must stay O(capacity) at every point of a long insert
+	// storm — not just after a final compaction — including with Removes
+	// staling slots in the middle of the queue.
 	f := NewFIFO(4)
 	for i := uint64(0); i < 10000; i++ {
 		f.Insert(key(i))
+		if i%3 == 0 {
+			f.Remove(key(i))
+		}
+		if len(f.queue) > 2*f.capacity {
+			t.Fatalf("insert %d: queue grew to %d slots (head=%d), want ≤ %d",
+				i, len(f.queue), f.head, 2*f.capacity)
+		}
 	}
-	if f.Len() != 4 {
-		t.Fatalf("len = %d", f.Len())
-	}
-	for i := uint64(9996); i < 10000; i++ {
+	// 9999 was removed (9999%3==0); the two newest survivors remain.
+	for _, i := range []uint64{9997, 9998} {
 		if !f.Contains(key(i)) {
 			t.Fatalf("key %d missing", i)
 		}
-	}
-	if len(f.queue)-f.head > 16 {
-		t.Errorf("queue not compacted: len=%d head=%d", len(f.queue), f.head)
 	}
 }
 
@@ -102,17 +107,18 @@ func TestClockApproximatesLRUUnderReuse(t *testing.T) {
 	}
 }
 
-// TestTagStoreInvariants drives all three implementations with the same
-// random operation stream and checks the shared invariants.
+// TestTagStoreInvariants drives every replacement engine with the same
+// random operation stream — now including the Policy surface (Remove,
+// Victim, Keys) — and checks the shared invariants against a shadow map.
 func TestTagStoreInvariants(t *testing.T) {
-	stores := []TagStore{New(16), NewFIFO(16), NewClock(16)}
+	stores := []Policy{New(16), NewFIFO(16), NewClock(16), NewSieve(16), NewS3FIFO(16)}
 	for _, s := range stores {
 		t.Run(s.Name(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(11))
 			resident := make(map[block.Key]bool)
 			for i := 0; i < 20000; i++ {
 				k := key(uint64(rng.Intn(48)))
-				switch rng.Intn(3) {
+				switch rng.Intn(5) {
 				case 0:
 					if got := s.Touch(k); got != resident[k] {
 						t.Fatalf("op %d: Touch(%v) = %v, shadow %v", i, k, got, resident[k])
@@ -130,6 +136,19 @@ func TestTagStoreInvariants(t *testing.T) {
 					if got := s.Contains(k); got != resident[k] {
 						t.Fatalf("op %d: Contains(%v) = %v", i, k, got)
 					}
+				case 3:
+					if got := s.Remove(k); got != resident[k] {
+						t.Fatalf("op %d: Remove(%v) = %v, shadow %v", i, k, got, resident[k])
+					}
+					delete(resident, k)
+				case 4:
+					v, ok := s.Victim()
+					if ok != (len(resident) > 0) {
+						t.Fatalf("op %d: Victim ok=%v with %d resident", i, ok, len(resident))
+					}
+					if ok && !resident[v] {
+						t.Fatalf("op %d: Victim %v not resident", i, v)
+					}
 				}
 				if s.Len() > s.Capacity() {
 					t.Fatalf("op %d: over capacity", i)
@@ -137,6 +156,20 @@ func TestTagStoreInvariants(t *testing.T) {
 				if s.Len() != len(resident) {
 					t.Fatalf("op %d: Len %d vs shadow %d", i, s.Len(), len(resident))
 				}
+			}
+			keys := s.Keys()
+			if len(keys) != s.Len() {
+				t.Fatalf("Keys() has %d entries, Len %d", len(keys), s.Len())
+			}
+			seen := make(map[block.Key]bool, len(keys))
+			for _, k := range keys {
+				if !resident[k] {
+					t.Fatalf("Keys() lists non-resident %v", k)
+				}
+				if seen[k] {
+					t.Fatalf("Keys() lists %v twice", k)
+				}
+				seen[k] = true
 			}
 		})
 	}

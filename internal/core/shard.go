@@ -99,16 +99,17 @@ func (f *flight) release() {
 }
 
 // shard is one lock-striped partition of the Store: a fully-associative
-// LRU tag store over its slice of the key space, with its own frames,
-// dirty set, in-flight table, sieve state, and stats. Keys map to shards
-// by hash (Store.shardOf); with Options.Shards == 1 the single shard is
-// exactly the paper's fully-associative cache.
+// tag store (LRU by default; any cache.Policy via Options.Policy) over
+// its slice of the key space, with its own frames, dirty set, in-flight
+// table, sieve state, and stats. Keys map to shards by hash
+// (Store.shardOf); with Options.Shards == 1 the single shard is exactly
+// the paper's fully-associative cache.
 type shard struct {
 	store *Store
 	idx   int
 
 	mu       sync.Mutex
-	tags     *cache.Cache
+	tags     cache.Policy
 	frames   map[block.Key][]byte
 	dirty    map[block.Key]bool
 	free     [][]byte
@@ -179,7 +180,7 @@ func (sh *shard) install(key block.Key, data []byte) bool {
 		}
 	}
 	if sh.tags.Len() >= sh.tags.Capacity() && !sh.tags.Contains(key) {
-		if victim, ok := sh.tags.LRU(); ok && sh.dirty[victim] {
+		if victim, ok := sh.tags.Victim(); ok && sh.dirty[victim] {
 			if err := sh.flushBlock(victim); err != nil {
 				sh.stats.FlushErrors++
 				return false
@@ -468,10 +469,13 @@ func (sh *shard) commitEpochLocked(selected []block.Key, fetched map[block.Key][
 		inFinal[k] = true
 	}
 	for _, k := range selected {
-		if len(final) >= sh.tags.Capacity() {
-			break
-		}
 		if inFinal[k] {
+			continue
+		}
+		if len(final) >= sh.tags.Capacity() {
+			// Dirty retentions displaced this selected block: a hot block
+			// lost to capacity, not a freshness skip — count it.
+			sh.stats.SelectOverflow++
 			continue
 		}
 		if sh.frames[k] == nil && (fetched[k] == nil || sh.rotSkip[k]) {
@@ -483,7 +487,8 @@ func (sh *shard) commitEpochLocked(selected []block.Key, fetched map[block.Key][
 		final = append(final, k)
 		inFinal[k] = true
 	}
-	_, evicted := sh.tags.Swap(final)
+	_, evicted, overflow := sh.tags.Swap(final)
+	sh.stats.SelectOverflow += int64(overflow)
 	for _, k := range evicted {
 		sh.free = append(sh.free, sh.frames[k])
 		delete(sh.frames, k)

@@ -81,17 +81,18 @@ func shardTrace(ops, span int) []shardTraceOp {
 }
 
 // TestShardEquivalence replays the same serial trace at Shards ∈ {1,2,8}
-// and checks (a) every shard count returns byte-correct data, (b) access
-// counters are identical, and (c) hit ratios stay within 1% of the
-// Shards=1 figure — shard-local LRU eviction is the only allowed
-// divergence. (Shards=1 bit-identity with the unsharded seed is covered
-// separately by the internal/replay simulator cross-validation.)
+// under both the LRU and SIEVE replacement engines and checks (a) every
+// combination returns byte-correct data, (b) access counters are
+// identical, and (c) hit ratios stay within 1% of that policy's Shards=1
+// figure — shard-local eviction is the only allowed divergence.
+// (Shards=1 bit-identity with the unsharded seed is covered separately by
+// the internal/replay simulator cross-validation.)
 func TestShardEquivalence(t *testing.T) {
 	const span = 512
 	trace := shardTrace(6000, span)
 	content := func(blk uint64) byte { return byte(blk*7 + 13) }
 
-	run := func(shards int) Stats {
+	run := func(shards int, policy string) Stats {
 		mem := store.NewMem()
 		mem.AddVolume(0, 0, span*block.Size)
 		init := make([]byte, span*block.Size)
@@ -107,6 +108,7 @@ func TestShardEquivalence(t *testing.T) {
 		st, err := Open(mem, Options{
 			CacheBytes: span / 8 * block.Size,
 			Shards:     shards,
+			Policy:     policy,
 			SieveC:     smallSieve(),
 		})
 		if err != nil {
@@ -133,29 +135,39 @@ func TestShardEquivalence(t *testing.T) {
 			for b := 0; b < op.n; b++ {
 				want := content(op.blk + uint64(b))
 				if p[b*block.Size] != want || p[(b+1)*block.Size-1] != want {
-					t.Fatalf("shards=%d: block %d read %x..%x, want %x",
-						shards, op.blk+uint64(b), p[b*block.Size], p[(b+1)*block.Size-1], want)
+					t.Fatalf("shards=%d policy=%s: block %d read %x..%x, want %x",
+						shards, policy, op.blk+uint64(b), p[b*block.Size], p[(b+1)*block.Size-1], want)
 				}
 			}
 		}
 		return st.Stats()
 	}
 
-	base := run(1)
-	for _, shards := range []int{2, 8} {
-		got := run(shards)
-		if got.Reads != base.Reads || got.Writes != base.Writes {
-			t.Errorf("shards=%d: accesses %d/%d, want %d/%d",
-				shards, got.Reads, got.Writes, base.Reads, base.Writes)
-		}
-		if math.Abs(got.HitRatio()-base.HitRatio()) > 0.01 {
-			t.Errorf("shards=%d: hit ratio %.4f, want within 1%% of %.4f",
-				shards, got.HitRatio(), base.HitRatio())
-		}
-		if got.CachedBlocks > got.CapacityBlocks {
-			t.Errorf("shards=%d: residency %d exceeds capacity %d",
-				shards, got.CachedBlocks, got.CapacityBlocks)
-		}
+	// LRU's shard-local eviction must track the global figure to 1%.
+	// SIEVE pays more for tiny shards (8 blocks each here): its hand
+	// approximates recency coarsely at that granularity, so its bar is
+	// looser — the realistic 512-block configuration is pinned to ±1% of
+	// LRU by the golden suite instead.
+	tolerance := map[string]float64{"lru": 0.01, "sieve": 0.10}
+	for _, policy := range []string{"lru", "sieve"} {
+		t.Run(policy, func(t *testing.T) {
+			base := run(1, policy)
+			for _, shards := range []int{2, 8} {
+				got := run(shards, policy)
+				if got.Reads != base.Reads || got.Writes != base.Writes {
+					t.Errorf("shards=%d: accesses %d/%d, want %d/%d",
+						shards, got.Reads, got.Writes, base.Reads, base.Writes)
+				}
+				if diff := math.Abs(got.HitRatio() - base.HitRatio()); diff > tolerance[policy] {
+					t.Errorf("shards=%d: hit ratio %.4f, want within %.0f%% of %.4f",
+						shards, got.HitRatio(), 100*tolerance[policy], base.HitRatio())
+				}
+				if got.CachedBlocks > got.CapacityBlocks {
+					t.Errorf("shards=%d: residency %d exceeds capacity %d",
+						shards, got.CachedBlocks, got.CapacityBlocks)
+				}
+			}
+		})
 	}
 }
 
@@ -305,10 +317,18 @@ func TestPooledWaiterCoalescing(t *testing.T) {
 
 // TestShardStressTransitions races readers and writers across 8 shards
 // against rotation, flush, snapshot save/load, and invalidation — the
-// cross-shard staged protocols. Every block always holds the same
-// key-derived pattern, so any read (from frames old or new, snapshot or
-// backend) can be verified exactly; the race detector checks the locking.
+// cross-shard staged protocols — under both the LRU and SIEVE engines
+// (SIEVE adds the hand's Remove/Swap repair paths to the mix). Every
+// block always holds the same key-derived pattern, so any read (from
+// frames old or new, snapshot or backend) can be verified exactly; the
+// race detector checks the locking.
 func TestShardStressTransitions(t *testing.T) {
+	for _, policy := range []string{"lru", "sieve"} {
+		t.Run(policy, func(t *testing.T) { stressTransitions(t, policy) })
+	}
+}
+
+func stressTransitions(t *testing.T, policy string) {
 	const (
 		span    = 512
 		workers = 4
@@ -319,6 +339,7 @@ func TestShardStressTransitions(t *testing.T) {
 	st, err := Open(mem, Options{
 		CacheBytes: span / 4 * block.Size,
 		Shards:     8,
+		Policy:     policy,
 		Variant:    VariantD,
 		DThreshold: 1,
 		Epoch:      time.Hour,
@@ -446,6 +467,77 @@ func TestShardStressTransitions(t *testing.T) {
 				t.Fatalf("backend block %d byte %d = %x, want %x or 0", blk, i, b, want)
 			}
 		}
+	}
+}
+
+// TestSelectOverflowSkewedShards is the regression test for the silent
+// rotation drop: the per-shard split of an epoch selection caps each
+// shard at its own capacity, so a skewed key→shard distribution loses
+// hot blocks even when the cache as a whole has room. Those drops (plus
+// any tag-store Swap truncation) must surface in Stats.SelectOverflow.
+func TestSelectOverflowSkewedShards(t *testing.T) {
+	const span = 4096
+	mem := store.NewMem()
+	mem.AddVolume(0, 0, span*block.Size)
+	clk := newFakeClock()
+	st, err := Open(mem, Options{
+		CacheBytes: 64 * block.Size, // 8 shards × 8 blocks
+		Shards:     8,
+		Variant:    VariantD,
+		DThreshold: 1,
+		Epoch:      time.Hour,
+		SpillDir:   t.TempDir(),
+		Now:        clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Brute-force 20 block numbers that all hash to shard 0: more than
+	// twice its 8-block capacity, while the other 7 shards stay empty.
+	var skewed []uint64
+	for blk := uint64(0); blk < span && len(skewed) < 20; blk++ {
+		if st.shardIndex(block.MakeKey(0, 0, blk)) == 0 {
+			skewed = append(skewed, blk)
+		}
+	}
+	if len(skewed) < 20 {
+		t.Fatalf("only %d keys map to shard 0 in a %d-block span", len(skewed), span)
+	}
+	p := make([]byte, block.Size)
+	for _, blk := range skewed {
+		if err := st.ReadAt(0, 0, p, blk*block.Size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.RotateEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	// All 20 cross DThreshold=1, shard 0 installs at most 8: 12 hot
+	// blocks vanished from the selection and must be accounted for.
+	if want := int64(len(skewed) - 8); s.SelectOverflow != want {
+		t.Errorf("SelectOverflow = %d, want %d", s.SelectOverflow, want)
+	}
+	if s.CachedBlocks > 8 {
+		t.Errorf("CachedBlocks = %d, want ≤ 8 (everything hashes to one shard)", s.CachedBlocks)
+	}
+	// An even selection (fresh epoch, keys spread across shards) adds no
+	// further overflow.
+	before := s.SelectOverflow
+	for blk := uint64(0); blk < 32; blk++ {
+		if err := st.ReadAt(0, 0, p, blk*block.Size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(2 * time.Hour)
+	if err := st.RotateEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	s = st.Stats()
+	if s.SelectOverflow != before {
+		t.Errorf("even selection changed SelectOverflow: %d → %d", before, s.SelectOverflow)
 	}
 }
 
