@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-chaos cover bench bench-smoke bench-hot experiments fuzz test-fuzz fmt vet lint clean
+.PHONY: all build test race test-chaos cover bench bench-smoke bench-hot bench-wire experiments fuzz test-fuzz fmt vet lint clean
 
 # Tier-1 flow: compile, static checks, unit tests, the race detector over
 # every package (the concurrent store/appliance paths must stay
@@ -66,6 +66,13 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentStore|BenchmarkRotationWhileServing' -benchtime 100ms .
 
+# Wire-protocol throughput/latency matrix: v1 vs v2 at 1/8/32 clients over
+# a 1 ms-latency backend, written as BENCH_wire.json for CI trend lines.
+# The v2 acceptance bar: shared-conn ops/s at ≥8 clients must beat v1
+# shared-conn by ≥2× (pipelining must actually overlap the backend waits).
+bench-wire:
+	$(GO) run ./cmd/benchwire -out BENCH_wire.json
+
 # Hit-path scaling sweep: pure cache-hit throughput at 1–8 GOMAXPROCS for
 # Shards=1 vs Shards=8. The headline number for the sharded-store work;
 # compare ns/op across -cpu to see lock-contention scaling.
@@ -84,8 +91,10 @@ fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzBinaryReader -fuzztime 30s -run XXX
 	$(GO) test ./internal/trace/ -fuzz FuzzCSVReader -fuzztime 30s -run XXX
 	$(GO) test ./internal/core/ -fuzz FuzzLoadSnapshot -fuzztime 30s -run XXX
-	$(GO) test ./internal/appliance/ -fuzz FuzzFrameRoundTrip -fuzztime 30s -run XXX
+	$(GO) test ./internal/appliance/ -fuzz 'FuzzFrameRoundTrip$$' -fuzztime 30s -run XXX
+	$(GO) test ./internal/appliance/ -fuzz 'FuzzFrameRoundTripV2$$' -fuzztime 30s -run XXX
 	$(GO) test ./internal/appliance/ -fuzz FuzzServerInput -fuzztime 30s -run XXX
+	$(GO) test ./internal/appliance/ -fuzz FuzzClientResponse -fuzztime 30s -run XXX
 
 # Quick smoke over every fuzz target (seed corpora + 5s of new inputs
 # each) — cheap enough for pre-commit; `make fuzz` is the long soak.
@@ -93,8 +102,10 @@ test-fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzBinaryReader -fuzztime 5s -run XXX
 	$(GO) test ./internal/trace/ -fuzz FuzzCSVReader -fuzztime 5s -run XXX
 	$(GO) test ./internal/core/ -fuzz FuzzLoadSnapshot -fuzztime 5s -run XXX
-	$(GO) test ./internal/appliance/ -fuzz FuzzFrameRoundTrip -fuzztime 5s -run XXX
+	$(GO) test ./internal/appliance/ -fuzz 'FuzzFrameRoundTrip$$' -fuzztime 5s -run XXX
+	$(GO) test ./internal/appliance/ -fuzz 'FuzzFrameRoundTripV2$$' -fuzztime 5s -run XXX
 	$(GO) test ./internal/appliance/ -fuzz FuzzServerInput -fuzztime 5s -run XXX
+	$(GO) test ./internal/appliance/ -fuzz FuzzClientResponse -fuzztime 5s -run XXX
 
 fmt:
 	gofmt -w .

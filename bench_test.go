@@ -634,56 +634,89 @@ func BenchmarkRotationWhileServing(b *testing.B) {
 	}
 }
 
-// BenchmarkConcurrentAppliance is the same scaling probe end-to-end: N TCP
-// clients against one appliance server over loopback.
+// BenchmarkConcurrentAppliance is the same scaling probe end-to-end: N
+// client goroutines against one appliance server over loopback, across the
+// three wire configurations that matter:
+//
+//   - v1/conn-per-client: the legacy protocol's only way to overlap I/O —
+//     one TCP connection (and server goroutine) per client.
+//   - v1/shared-conn: N goroutines multiplexed over ONE connection. v1 is
+//     strictly request/response, so the client mutex serializes every op;
+//     throughput pins near 1/latency regardless of N. This is the baseline
+//     the tagged-frame work exists to fix.
+//   - v2/shared-conn: the same single connection, but v2 tags let all N
+//     requests stay in flight at once; throughput should track
+//     conn-per-client without the N-sockets cost.
 func BenchmarkConcurrentAppliance(b *testing.B) {
-	for _, clients := range []int{1, 8} {
-		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
-			st, _ := newLatencyStore(b)
-			defer st.Close()
-			srv := appliance.NewServer(st)
-			l, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				b.Fatal(err)
-			}
-			done := make(chan struct{})
-			go func() { defer close(done); srv.Serve(l) }()
-			defer func() { srv.Close(); <-done }()
-
-			conns := make([]*appliance.Client, clients)
-			for i := range conns {
-				c, err := appliance.Dial(l.Addr().String())
+	for _, mode := range []struct {
+		name   string
+		proto  int
+		shared bool
+	}{
+		{"v1-conn-per-client", appliance.ProtocolV1, false},
+		{"v1-shared-conn", appliance.ProtocolV1, true},
+		{"v2-shared-conn", appliance.ProtocolV2, true},
+	} {
+		for _, clients := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mode.name, clients), func(b *testing.B) {
+				st, _ := newLatencyStore(b)
+				defer st.Close()
+				srv := appliance.NewServer(st)
+				l, err := net.Listen("tcp", "127.0.0.1:0")
 				if err != nil {
 					b.Fatal(err)
 				}
-				defer c.Close()
-				conns[i] = c
-			}
-			var next atomic.Int64
-			b.SetBytes(4096)
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			for g := 0; g < clients; g++ {
-				wg.Add(1)
-				go func(c *appliance.Client) {
-					defer wg.Done()
-					buf := make([]byte, 4096)
-					for {
-						i := next.Add(1) - 1
-						if i >= int64(b.N) {
-							return
-						}
-						off := uint64(i%(1<<16)) * 4096
-						if err := c.ReadAt(0, 0, buf, off); err != nil {
-							b.Error(err)
-							return
-						}
+				done := make(chan struct{})
+				go func() { defer close(done); srv.Serve(l) }()
+				defer func() { srv.Close(); <-done }()
+
+				dial := func() *appliance.Client {
+					c, err := appliance.DialWith(l.Addr().String(),
+						appliance.DialOptions{Protocol: mode.proto})
+					if err != nil {
+						b.Fatal(err)
 					}
-				}(conns[g])
-			}
-			wg.Wait()
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
-		})
+					return c
+				}
+				conns := make([]*appliance.Client, clients)
+				if mode.shared {
+					shared := dial()
+					defer shared.Close()
+					for i := range conns {
+						conns[i] = shared
+					}
+				} else {
+					for i := range conns {
+						conns[i] = dial()
+						defer conns[i].Close()
+					}
+				}
+				var next atomic.Int64
+				b.SetBytes(4096)
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < clients; g++ {
+					wg.Add(1)
+					go func(c *appliance.Client) {
+						defer wg.Done()
+						buf := make([]byte, 4096)
+						for {
+							i := next.Add(1) - 1
+							if i >= int64(b.N) {
+								return
+							}
+							off := uint64(i%(1<<16)) * 4096
+							if err := c.ReadAt(0, 0, buf, off); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(conns[g])
+				}
+				wg.Wait()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+			})
+		}
 	}
 }
 

@@ -66,6 +66,10 @@ func main() {
 		retries        = flag.Int("retries", 0, "retries per backend op on transient errors (0: none; enables the fault-tolerant backend wrapper)")
 		maxConns       = flag.Int("max-conns", 0, "cap on concurrently served connections; extras get a busy error (0: unlimited)")
 		idleTimeout    = flag.Duration("idle-timeout", 0, "drop connections idle this long between requests (0: never)")
+
+		protocol    = flag.String("protocol", "v2", "max wire protocol version: v2 (tagged pipelined frames, negotiated down per client) or v1 (legacy-exact)")
+		groupCommit = flag.Duration("group-commit-window", 0, "coalesce write-back flush requests arriving within this window into one backend sweep (0: flush immediately)")
+		maxPipeline = flag.Int("max-pipeline", 0, "per-connection cap on in-flight pipelined v2 requests (0: default 32)")
 	)
 	flag.Parse()
 
@@ -119,13 +123,14 @@ func main() {
 		nShards = core.DefaultShards()
 	}
 	opts := core.Options{
-		CacheBytes:    *cacheMB << 20,
-		WriteBack:     *writeBack,
-		TrackLatency:  *trackLat,
-		Shards:        nShards,
-		Policy:        *policy,
-		TraceSample:   *traceSample,
-		TraceRingSize: *traceRing,
+		CacheBytes:        *cacheMB << 20,
+		WriteBack:         *writeBack,
+		TrackLatency:      *trackLat,
+		Shards:            nShards,
+		Policy:            *policy,
+		TraceSample:       *traceSample,
+		TraceRingSize:     *traceRing,
+		GroupCommitWindow: *groupCommit,
 	}
 	switch *variant {
 	case "c":
@@ -156,9 +161,20 @@ func main() {
 		}
 	}
 
+	var maxProto int
+	switch *protocol {
+	case "v2", "2", "":
+		maxProto = appliance.ProtocolV2
+	case "v1", "1":
+		maxProto = appliance.ProtocolV1
+	default:
+		log.Fatalf("unknown -protocol %q (want v1 or v2)", *protocol)
+	}
 	srv := appliance.NewServerWith(st, appliance.ServerOptions{
 		MaxConns:    *maxConns,
 		IdleTimeout: *idleTimeout,
+		MaxProtocol: maxProto,
+		MaxPipeline: *maxPipeline,
 	})
 
 	if *metricsAddr != "" {

@@ -1,0 +1,217 @@
+// Command benchwire measures wire-protocol throughput and tail latency:
+// v1 vs v2 over loopback against an in-process appliance whose backend
+// charges 1 ms per request (the regime where request overlap, not CPU,
+// decides throughput). It emits machine-readable JSON for CI trend lines.
+//
+// Three configurations per client count, mirroring BenchmarkConcurrentAppliance:
+//
+//	v1/conn-per-client — legacy best case: one socket per client
+//	v1/shared-conn     — one socket, mutex-serialized (the v2 motivation)
+//	v2/shared-conn     — one socket, tagged pipelined frames
+//
+// Usage:
+//
+//	benchwire -duration 2s -clients 1,8,32 -out BENCH_wire.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/appliance"
+	"repro/internal/core"
+	"repro/internal/sieve"
+	"repro/internal/store"
+)
+
+type result struct {
+	Proto   string  `json:"proto"`
+	Mode    string  `json:"mode"`
+	Clients int     `json:"clients"`
+	Ops     int     `json:"ops"`
+	OpsPerS float64 `json:"ops_per_s"`
+	P50us   float64 `json:"p50_us"`
+	P99us   float64 `json:"p99_us"`
+}
+
+type report struct {
+	BackendLatencyMS float64  `json:"backend_latency_ms"`
+	ReadBytes        int      `json:"read_bytes"`
+	DurationS        float64  `json:"duration_s_per_cell"`
+	Results          []result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchwire: ")
+	var (
+		duration = flag.Duration("duration", 2*time.Second, "measurement time per cell")
+		clients  = flag.String("clients", "1,8,32", "comma-separated client counts")
+		outPath  = flag.String("out", "BENCH_wire.json", "JSON output path")
+	)
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -clients entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+
+	rep := report{BackendLatencyMS: 1, ReadBytes: 4096, DurationS: duration.Seconds()}
+	modes := []struct {
+		name   string
+		proto  int
+		shared bool
+	}{
+		{"conn-per-client", appliance.ProtocolV1, false},
+		{"shared-conn", appliance.ProtocolV1, true},
+		{"shared-conn", appliance.ProtocolV2, true},
+	}
+	for _, m := range modes {
+		proto := "v1"
+		if m.proto == appliance.ProtocolV2 {
+			proto = "v2"
+		}
+		for _, n := range counts {
+			r, err := runCell(m.proto, m.shared, n, *duration)
+			if err != nil {
+				log.Fatalf("%s/%s clients=%d: %v", proto, m.name, n, err)
+			}
+			r.Proto, r.Mode, r.Clients = proto, m.name, n
+			rep.Results = append(rep.Results, r)
+			log.Printf("%-2s %-16s clients=%-3d %9.0f ops/s  p50 %7.0f µs  p99 %7.0f µs",
+				proto, m.name, n, r.OpsPerS, r.P50us, r.P99us)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*outPath, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *outPath)
+}
+
+// runCell stands up a fresh server + store, drives it with n client
+// goroutines for dur, and reports aggregate throughput and latency
+// percentiles over the individual reads.
+func runCell(proto int, shared bool, n int, dur time.Duration) (result, error) {
+	mem := store.NewMem()
+	mem.AddVolume(0, 0, 1<<30)
+	lat := store.NewLatency(mem)
+	lat.PerRequest = time.Millisecond
+	lat.PerByte = 0
+	lat.Sleep = true
+	st, err := core.Open(lat, core.Options{
+		CacheBytes: 1 << 22,
+		SieveC:     sieve.CConfig{IMCTSize: 1 << 16, T1: 2, T2: 2, Window: time.Hour, Subwindows: 4},
+	})
+	if err != nil {
+		return result{}, err
+	}
+	defer st.Close()
+	srv := appliance.NewServer(st)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return result{}, err
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(l) }()
+	defer func() { srv.Close(); <-done }()
+
+	conns := make([]*appliance.Client, n)
+	dial := func() (*appliance.Client, error) {
+		return appliance.DialWith(l.Addr().String(), appliance.DialOptions{Protocol: proto})
+	}
+	if shared {
+		c, err := dial()
+		if err != nil {
+			return result{}, err
+		}
+		defer c.Close()
+		for i := range conns {
+			conns[i] = c
+		}
+	} else {
+		for i := range conns {
+			c, err := dial()
+			if err != nil {
+				return result{}, err
+			}
+			defer c.Close()
+			conns[i] = c
+		}
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		perGorou = make([][]time.Duration, n)
+		firstErr = make(chan error, n)
+	)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int, c *appliance.Client) {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			samples := make([]time.Duration, 0, 4096)
+			for time.Now().Before(deadline) {
+				i := next.Add(1) - 1
+				off := uint64(i%(1<<16)) * 4096
+				t0 := time.Now()
+				if err := c.ReadAt(0, 0, buf, off); err != nil {
+					select {
+					case firstErr <- err:
+					default:
+					}
+					return
+				}
+				samples = append(samples, time.Since(t0))
+			}
+			perGorou[g] = samples
+		}(g, conns[g])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-firstErr:
+		return result{}, err
+	default:
+	}
+
+	var all []time.Duration
+	for _, s := range perGorou {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return result{}, fmt.Errorf("no ops completed")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Microsecond)
+	}
+	return result{
+		Ops:     len(all),
+		OpsPerS: float64(len(all)) / elapsed.Seconds(),
+		P50us:   pct(0.50),
+		P99us:   pct(0.99),
+	}, nil
+}

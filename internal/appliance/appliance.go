@@ -6,7 +6,8 @@
 //
 // The wire protocol is a minimal length-prefixed binary framing (the paper
 // assumes iSCSI; any block protocol works, so we use the simplest one that
-// exercises the same data path):
+// exercises the same data path). Protocol v1 is strictly
+// one-request-one-response:
 //
 //	request:  magic 'S' | op u8 | server u16 | volume u16 | offset u64 | length u32 | payload
 //	response: status u8 | (status==0: payload) (status==1: msgLen u16 | message)
@@ -14,6 +15,14 @@
 // Reads carry no request payload and return `length` bytes; writes carry
 // `length` bytes and return an empty payload; OpStats returns a JSON
 // encoding of core.Stats prefixed by a u32 length.
+//
+// Protocol v2 (negotiated per connection via OpHello; see wire2.go and
+// DESIGN.md §11) adds tagged pipelined frames with out-of-order
+// completion, OpReadV/OpWriteV scatter/gather ops, and zero-copy reads
+// served straight from pinned cache frames. v1 peers interoperate
+// unchanged: a server speaks v1 on every connection until that
+// connection completes a HELLO, and a client falls back to v1 when the
+// server rejects the HELLO.
 package appliance
 
 import (
@@ -135,6 +144,16 @@ type ServerOptions struct {
 	// Connections beyond the cap receive an ErrServerBusy error frame and
 	// are closed, so a well-behaved client fails fast instead of queueing.
 	MaxConns int
+	// MaxProtocol caps the protocol version the server negotiates.
+	// 0 (or ProtocolV2) serves both; ProtocolV1 pins the legacy framing —
+	// HELLO frames are then answered as unknown ops, exactly like a
+	// pre-v2 server.
+	MaxProtocol int
+	// MaxPipeline caps how many pipelined requests one v2 connection may
+	// have in flight server-side; past the cap the connection's reader
+	// stops pulling frames until a response completes (0 = a default of
+	// 32). v1 connections are inherently one-at-a-time.
+	MaxPipeline int
 }
 
 // Server serves the appliance protocol over a listener, backed by a
@@ -154,6 +173,13 @@ type Server struct {
 	totalConns  atomic.Int64
 	requests    atomic.Int64
 	errorFrames atomic.Int64
+
+	v2Conns       atomic.Int64
+	pipelinedReqs atomic.Int64
+	pipelineDepth atomic.Int64
+	vecOps        atomic.Int64
+	vecExtents    atomic.Int64
+	zeroCopyBytes atomic.Int64
 }
 
 // NewServer returns a Server around st with no limits (ServerOptions zero
@@ -179,11 +205,17 @@ func (s *Server) BusyRejects() int64 {
 // ServerStats is a snapshot of a Server's connection and request
 // counters, exported by the observability layer.
 type ServerStats struct {
-	ActiveConns int   // connections currently being served
-	TotalConns  int64 // connections accepted over the server's lifetime
-	BusyRejects int64 // connections turned away at the MaxConns limit
-	Requests    int64 // request frames received (all ops)
-	ErrorFrames int64 // error-frame responses sent
+	ActiveConns   int   // connections currently being served
+	TotalConns    int64 // connections accepted over the server's lifetime
+	BusyRejects   int64 // connections turned away at the MaxConns limit
+	Requests      int64 // request frames received (all ops)
+	ErrorFrames   int64 // error-frame responses sent
+	V2Conns       int64 // connections that negotiated protocol v2
+	PipelinedReqs int64 // v2 requests that arrived while another was already in flight on the same connection
+	PipelineDepth int64 // v2 requests in flight right now, across connections
+	VecOps        int64 // OpReadV/OpWriteV frames served
+	VecExtents    int64 // extents carried by those frames
+	ZeroCopyBytes int64 // read bytes served straight from pinned cache frames
 }
 
 // StatsSnapshot snapshots the server's counters.
@@ -193,11 +225,17 @@ func (s *Server) StatsSnapshot() ServerStats {
 	busy := s.busyRejects
 	s.mu.Unlock()
 	return ServerStats{
-		ActiveConns: active,
-		TotalConns:  s.totalConns.Load(),
-		BusyRejects: busy,
-		Requests:    s.requests.Load(),
-		ErrorFrames: s.errorFrames.Load(),
+		ActiveConns:   active,
+		TotalConns:    s.totalConns.Load(),
+		BusyRejects:   busy,
+		Requests:      s.requests.Load(),
+		ErrorFrames:   s.errorFrames.Load(),
+		V2Conns:       s.v2Conns.Load(),
+		PipelinedReqs: s.pipelinedReqs.Load(),
+		PipelineDepth: s.pipelineDepth.Load(),
+		VecOps:        s.vecOps.Load(),
+		VecExtents:    s.vecExtents.Load(),
+		ZeroCopyBytes: s.zeroCopyBytes.Load(),
 	}
 }
 
@@ -311,7 +349,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, connBufSize)
 	bw := bufio.NewWriterSize(conn, connBufSize)
 	hdr := make([]byte, headerSize)
-	var payload []byte
+	var cp connPayload
 	for {
 		if s.opts.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
@@ -357,28 +395,58 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		switch h.op {
 		case OpRead:
-			if cap(payload) < int(h.length) {
-				payload = make([]byte, h.length)
+			// Zero-copy fast path: pin the all-hit prefix's cache frames
+			// and write them to the wire directly; only the (miss) tail is
+			// read into a scratch buffer. ReadPinned accounts and logs the
+			// pinned blocks itself, so the two halves together count
+			// exactly like one ReadAt.
+			n := int(h.length)
+			pr := s.store.ReadPinned(int(h.server), int(h.volume), n, h.offset)
+			pinned := 0
+			if pr != nil {
+				pinned = pr.Bytes()
 			}
-			buf := payload[:h.length]
-			if err := s.store.ReadAt(int(h.server), int(h.volume), buf, h.offset); err != nil {
-				if !s.sendErr(bw, err) {
-					return
+			var tail []byte
+			if n > pinned || n == 0 {
+				tail = cp.get(n - pinned)
+				if err := s.store.ReadAt(int(h.server), int(h.volume), tail, h.offset+uint64(pinned)); err != nil {
+					if pr != nil {
+						pr.Release()
+					}
+					cp.put(tail)
+					if !s.sendErr(bw, err) {
+						return
+					}
+					continue
 				}
-				continue
 			}
-			if !writeOK(bw, buf) {
+			s.zeroCopyBytes.Add(int64(pinned))
+			bw.WriteByte(statusOK)
+			if pr != nil {
+				for _, v := range pr.Views() {
+					bw.Write(v)
+				}
+			}
+			if len(tail) > 0 {
+				bw.Write(tail)
+			}
+			flushed := bw.Flush() == nil
+			if pr != nil {
+				pr.Release()
+			}
+			cp.put(tail)
+			if !flushed {
 				return
 			}
 		case OpWrite:
-			if cap(payload) < int(h.length) {
-				payload = make([]byte, h.length)
-			}
-			buf := payload[:h.length]
+			buf := cp.get(int(h.length))
 			if _, err := io.ReadFull(br, buf); err != nil {
+				cp.put(buf)
 				return
 			}
-			if err := s.store.WriteAt(int(h.server), int(h.volume), buf, h.offset); err != nil {
+			err := s.store.WriteAt(int(h.server), int(h.volume), buf, h.offset)
+			cp.put(buf)
+			if err != nil {
 				if !s.sendErr(bw, err) {
 					return
 				}
@@ -421,6 +489,38 @@ func (s *Server) serveConn(conn net.Conn) {
 			var resp [4]byte
 			binary.BigEndian.PutUint32(resp[:], uint32(dropped))
 			if !writeOK(bw, resp[:]) {
+				return
+			}
+		case OpFlush:
+			if err := s.store.Flush(); err != nil {
+				if !s.sendErr(bw, err) {
+					return
+				}
+				continue
+			}
+			if !writeOK(bw, nil) {
+				return
+			}
+		case OpHello:
+			// Version negotiation: the v1-framed offset field carries the
+			// client's maximum supported version; the OK body is one byte,
+			// the negotiated version. ≥2 switches this connection to v2
+			// framing. A v1-pinned server treats HELLO as an unknown op —
+			// byte-exact with a pre-v2 server.
+			if s.opts.MaxProtocol == ProtocolV1 {
+				s.sendErr(bw, fmt.Errorf("%w: unknown op %d", ErrProtocol, h.op))
+				return
+			}
+			ver := byte(ProtocolV1)
+			if h.offset >= ProtocolV2 {
+				ver = ProtocolV2
+			}
+			if !writeOK(bw, []byte{ver}) {
+				return
+			}
+			if ver >= ProtocolV2 {
+				s.v2Conns.Add(1)
+				s.serveConnV2(conn, br, bw)
 				return
 			}
 		default:
@@ -485,6 +585,23 @@ type Client struct {
 	broken     error // first transport error; nil while the connection is usable
 	closed     bool
 	reconnects int64
+
+	// proto is the negotiated protocol version: 0 until the first op
+	// triggers negotiation (lazy, so Dial stays I/O-free), then ProtocolV1
+	// or ProtocolV2 for the client's lifetime.
+	proto int
+	// gen counts connections: every (re)dial bumps it, and v2 pipeline
+	// state (pending ops, the reader goroutine) is tagged with the gen it
+	// belongs to, so a stale reader's failure cannot break a fresh
+	// connection.
+	gen int
+
+	// v2 pipeline state: pending maps in-flight tags to their completion
+	// slots. pendMu guards it (never held across I/O); nextTag is guarded
+	// by mu (tags are assigned on the send path).
+	pendMu  sync.Mutex
+	pending map[uint32]*pendingOp
+	nextTag uint32
 }
 
 // DialOptions hardens a Client against a flaky wire or a restarting
@@ -508,6 +625,13 @@ type DialOptions struct {
 	ReconnectBackoff time.Duration
 	// DialTimeout bounds each dial, including redials (0 = the OS default).
 	DialTimeout time.Duration
+	// Protocol selects the wire protocol. ProtocolAuto (the default)
+	// negotiates v2 on the first op and falls back to v1 when the server
+	// rejects the HELLO (one transparent redial — v1 servers close the
+	// connection on the unknown op). ProtocolV1 pins the legacy framing
+	// and sends no HELLO; ProtocolV2 requires v2, failing ops against a
+	// v1-only server.
+	Protocol int
 }
 
 // Dial connects to an appliance at addr with no deadlines and no
@@ -516,19 +640,30 @@ func Dial(addr string) (*Client, error) {
 	return DialWith(addr, DialOptions{})
 }
 
-// DialWith connects to an appliance at addr, hardened with opts.
+// DialWith connects to an appliance at addr, hardened with opts. The
+// dial itself performs no protocol I/O; version negotiation (unless
+// opts.Protocol pins v1) happens on the first operation.
 func DialWith(addr string, opts DialOptions) (*Client, error) {
+	switch opts.Protocol {
+	case ProtocolAuto, ProtocolV1, ProtocolV2:
+	default:
+		return nil, fmt.Errorf("appliance: unknown protocol %d", opts.Protocol)
+	}
 	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
+	c := &Client{
 		addr: addr,
 		opts: opts,
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, connBufSize),
 		bw:   bufio.NewWriterSize(conn, connBufSize),
-	}, nil
+	}
+	if opts.Protocol == ProtocolV1 {
+		c.proto = ProtocolV1
+	}
+	return c, nil
 }
 
 // Reconnects returns how many times the client has successfully redialed.
@@ -588,6 +723,20 @@ func (c *Client) reconnectLocked() error {
 		c.br = bufio.NewReaderSize(conn, connBufSize)
 		c.bw = bufio.NewWriterSize(conn, connBufSize)
 		c.broken = nil
+		c.gen++
+		if c.proto == ProtocolV2 {
+			// The fresh connection must speak v2 again before pipelined
+			// requests can ride on it. A failed HELLO marks the connection
+			// broken and counts as a failed attempt.
+			if err := c.helloV2Locked(); err != nil {
+				if c.broken == nil {
+					c.broken = fmt.Errorf("appliance: v2 renegotiation failed: %w", err)
+					c.conn.Close()
+				}
+				continue
+			}
+			c.startReaderLocked()
+		}
 		c.reconnects++
 		return nil
 	}
@@ -701,6 +850,14 @@ func (c *Client) ReadAt(server, volume int, p []byte, off uint64) error {
 	if err := checkIDs(server, volume); err != nil {
 		return err
 	}
+	proto, err := c.protoFor()
+	if err != nil {
+		return err
+	}
+	if proto == ProtocolV2 {
+		return c.do2(headerV2{op: OpRead, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(len(p))},
+			nil, &pendingOp{op: OpRead, read: p})
+	}
 	h := header{op: OpRead, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(len(p))}
 	return c.exchange(func() error {
 		if err := c.roundTrip(h, nil); err != nil {
@@ -721,6 +878,14 @@ func (c *Client) WriteAt(server, volume int, p []byte, off uint64) error {
 	if err := checkIDs(server, volume); err != nil {
 		return err
 	}
+	proto, err := c.protoFor()
+	if err != nil {
+		return err
+	}
+	if proto == ProtocolV2 {
+		return c.do2(headerV2{op: OpWrite, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(len(p))},
+			[][]byte{p}, &pendingOp{op: OpWrite})
+	}
 	h := header{op: OpWrite, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(len(p))}
 	return c.exchange(func() error {
 		return c.roundTrip(h, p)
@@ -730,8 +895,33 @@ func (c *Client) WriteAt(server, volume int, p []byte, off uint64) error {
 // RotateEpoch forces a SieveStore-D epoch rotation on the appliance
 // (no-op for a VariantC appliance).
 func (c *Client) RotateEpoch() error {
+	proto, err := c.protoFor()
+	if err != nil {
+		return err
+	}
+	if proto == ProtocolV2 {
+		return c.do2(headerV2{op: OpRotate}, nil, &pendingOp{op: OpRotate})
+	}
 	return c.exchange(func() error {
 		return c.roundTrip(header{op: OpRotate}, nil)
+	})
+}
+
+// Flush asks the appliance to write its dirty write-back blocks to the
+// ensemble (a no-op for a write-through appliance). Flushes arriving
+// within the server's group-commit window coalesce into one staged
+// write-back pass. Requires a server that understands OpFlush (this
+// repo's v1 servers do; the op predates nothing else).
+func (c *Client) Flush() error {
+	proto, err := c.protoFor()
+	if err != nil {
+		return err
+	}
+	if proto == ProtocolV2 {
+		return c.do2(headerV2{op: OpFlush}, nil, &pendingOp{op: OpFlush})
+	}
+	return c.exchange(func() error {
+		return c.roundTrip(header{op: OpFlush}, nil)
 	})
 }
 
@@ -742,9 +932,24 @@ func (c *Client) Invalidate(server, volume int, off uint64, length int) (int, er
 	if err := checkIDs(server, volume); err != nil {
 		return 0, err
 	}
+	// length narrows to the header's u32: validate like ReadAt/WriteAt do,
+	// or a negative (or >4 GiB) length would silently wrap into a bogus
+	// extent.
+	if length <= 0 || length > MaxIOBytes {
+		return 0, fmt.Errorf("%w: invalidate of %d bytes out of range", ErrProtocol, length)
+	}
+	proto, err := c.protoFor()
+	if err != nil {
+		return 0, err
+	}
+	if proto == ProtocolV2 {
+		p := &pendingOp{op: OpInvalidate}
+		err := c.do2(headerV2{op: OpInvalidate, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(length)}, nil, p)
+		return int(p.inval), err
+	}
 	h := header{op: OpInvalidate, server: uint16(server), volume: uint16(volume), offset: off, length: uint32(length)}
 	var dropped int
-	err := c.exchange(func() error {
+	err = c.exchange(func() error {
 		if err := c.roundTrip(h, nil); err != nil {
 			return err
 		}
@@ -761,7 +966,18 @@ func (c *Client) Invalidate(server, volume int, off uint64, length int) (int, er
 // Stats fetches the appliance's cache statistics.
 func (c *Client) Stats() (core.Stats, error) {
 	var st core.Stats
-	err := c.exchange(func() error {
+	proto, err := c.protoFor()
+	if err != nil {
+		return st, err
+	}
+	if proto == ProtocolV2 {
+		p := &pendingOp{op: OpStats}
+		if err := c.do2(headerV2{op: OpStats}, nil, p); err != nil {
+			return st, err
+		}
+		return st, json.Unmarshal(p.stats, &st)
+	}
+	err = c.exchange(func() error {
 		if err := c.roundTrip(header{op: OpStats}, nil); err != nil {
 			return err
 		}
@@ -769,7 +985,14 @@ func (c *Client) Stats() (core.Stats, error) {
 		if _, err := io.ReadFull(c.br, lenBuf[:]); err != nil {
 			return c.fail(err)
 		}
-		data := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+		// The length prefix is untrusted input: a corrupt peer must not be
+		// able to force a ~4 GiB allocation. Past the bound the stream
+		// cannot be resynchronized, so the connection breaks.
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > maxStatsBytes {
+			return c.fail(fmt.Errorf("%w: %d-byte stats payload exceeds limit", ErrProtocol, n))
+		}
+		data := make([]byte, n)
 		if _, err := io.ReadFull(c.br, data); err != nil {
 			return c.fail(err)
 		}

@@ -65,26 +65,27 @@ type fuzzExpect struct {
 
 // simulateRequests mirrors serveConn's framing rules over the raw input
 // and returns the exact response-frame sequence the server must produce.
-func simulateRequests(data []byte) []fuzzExpect {
-	var out []fuzzExpect
+// When a HELLO negotiates v2 mid-stream, the remaining bytes are returned
+// as v2Rest with switched=true: from there the v2 oracle takes over.
+func simulateRequests(data []byte) (out []fuzzExpect, v2Rest []byte, switched bool) {
 	pos := 0
 	for {
 		if len(data)-pos < headerSize {
-			return out // EOF mid-header: clean close, no frame
+			return out, nil, false // EOF mid-header: clean close, no frame
 		}
 		hdr := data[pos : pos+headerSize]
 		pos += headerSize
 		op := hdr[1]
 		length := binary.BigEndian.Uint32(hdr[14:])
 		if hdr[0] != magic || length > MaxIOBytes {
-			return append(out, fuzzExpect{op: op, mustErr: true, closes: true})
+			return append(out, fuzzExpect{op: op, mustErr: true, closes: true}), nil, false
 		}
 		server := binary.BigEndian.Uint16(hdr[2:])
 		volume := binary.BigEndian.Uint16(hdr[4:])
 		if int(server) >= block.MaxServers || int(volume) >= block.MaxVolumes {
 			if op == OpWrite {
 				if len(data)-pos < int(length) {
-					return append(out, fuzzExpect{noFrame: true})
+					return append(out, fuzzExpect{noFrame: true}), nil, false
 				}
 				pos += int(length)
 			}
@@ -92,16 +93,22 @@ func simulateRequests(data []byte) []fuzzExpect {
 			continue
 		}
 		switch op {
-		case OpRead, OpStats, OpRotate, OpInvalidate:
+		case OpRead, OpStats, OpRotate, OpInvalidate, OpFlush:
 			out = append(out, fuzzExpect{op: op, length: length})
 		case OpWrite:
 			if len(data)-pos < int(length) {
-				return append(out, fuzzExpect{noFrame: true})
+				return append(out, fuzzExpect{noFrame: true}), nil, false
 			}
 			pos += int(length)
 			out = append(out, fuzzExpect{op: op})
+		case OpHello:
+			// OK + one version byte; offset ≥2 switches the stream to v2.
+			out = append(out, fuzzExpect{op: op})
+			if binary.BigEndian.Uint64(hdr[6:]) >= ProtocolV2 {
+				return out, data[pos:], true
+			}
 		default:
-			return append(out, fuzzExpect{op: op, mustErr: true, closes: true})
+			return append(out, fuzzExpect{op: op, mustErr: true, closes: true}), nil, false
 		}
 	}
 }
@@ -139,7 +146,9 @@ func readResponseFrame(t *testing.T, br *bufio.Reader, exp fuzzExpect) {
 			return
 		case OpInvalidate:
 			n = 4
-		case OpWrite, OpRotate:
+		case OpHello:
+			n = 1
+		case OpWrite, OpRotate, OpFlush:
 			n = 0
 		}
 		if _, err := io.CopyN(io.Discard, br, n); err != nil {
@@ -208,6 +217,41 @@ func FuzzServerInput(f *testing.F) {
 	f.Add([]byte{magic})                                          // truncated header
 	f.Add([]byte{})
 	f.Add(append(frame(OpRead, 0, 0, 0, 512, nil), frame(OpStats, 0, 0, 0, 0, nil)...))
+	f.Add(frame(OpFlush, 0, 0, 0, 0, nil))
+	f.Add(frame(OpHello, 0, 0, 1, 0, nil)) // HELLO capped at v1: stream stays v1
+	f.Add(frame(OpHello, 9999, 0, 2, 0, nil))
+
+	frame2 := func(op byte, tag uint32, server, volume uint16, offset uint64, length uint32, payload []byte) []byte {
+		h := headerV2{op: op, tag: tag, server: server, volume: volume, offset: offset, length: length}
+		buf := make([]byte, headerSizeV2, headerSizeV2+len(payload))
+		h.encode(buf)
+		return append(buf, payload...)
+	}
+	hello2 := frame(OpHello, 0, 0, ProtocolV2, 0, nil)
+	vec := func(exts ...Extent) []byte { return appendExtentTable(nil, exts) }
+	v2seed := func(frames ...[]byte) []byte {
+		out := append([]byte(nil), hello2...)
+		for _, fr := range frames {
+			out = append(out, fr...)
+		}
+		return out
+	}
+	f.Add(v2seed(frame2(OpRead, 1, 0, 0, 0, 512, nil), frame2(OpWrite, 2, 0, 0, 0, 512, make([]byte, 512))))
+	f.Add(v2seed(frame2(OpStats, 7, 0, 0, 0, 0, nil), frame2(OpFlush, 8, 0, 0, 0, 0, nil)))
+	f.Add(v2seed(frame2(OpRead, 3, 9999, 0, 0, 512, nil)))                                    // v2 id-range error, conn kept
+	f.Add(v2seed(frame2(OpHello, 4, 0, 0, 2, 0, nil)))                                        // redundant HELLO: closer
+	f.Add(v2seed(frame2(0x6E, 5, 0, 0, 0, 0, nil)))                                           // v2 unknown op: closer
+	f.Add(v2seed(frame2(OpRead, 6, 0, 0, 0, 512, nil)[:headerSizeV2-3]))                      // truncated v2 header
+	f.Add(v2seed(frame2(OpWrite, 9, 0, 0, 0, 4096, nil)))                                     // v2 write, missing payload
+	f.Add(v2seed(frame2(OpRead, 1, 0, 0, 0, 512, nil), frame2(OpRead, 1, 0, 0, 0, 512, nil))) // duplicate tag
+	tab := vec(Extent{Server: 0, Volume: 0, Off: 0, Data: make([]byte, 512)},
+		Extent{Server: 0, Volume: 0, Off: 4096, Data: make([]byte, 1024)})
+	f.Add(v2seed(frame2(OpReadV, 11, 0, 0, 0, uint32(len(tab)), tab)))
+	f.Add(v2seed(frame2(OpWriteV, 12, 0, 0, 0, uint32(len(tab)+1536), append(tab, make([]byte, 1536)...))))
+	f.Add(v2seed(frame2(OpWriteV, 13, 0, 0, 0, uint32(len(tab)), tab))) // table says 1536 bytes, none follow
+	badVec := vec(Extent{Server: 9999, Volume: 0, Off: 0, Data: make([]byte, 512)})
+	f.Add(v2seed(frame2(OpReadV, 14, 0, 0, 0, uint32(len(badVec)), badVec))) // extent ids out of range
+	f.Add(v2seed([]byte{0x00, 0x01}))                                        // v2 bad magic: closer
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		conn, err := net.Dial("tcp", addr)
@@ -233,14 +277,22 @@ func FuzzServerInput(f *testing.F) {
 		// deadline; the close unblocks both sides immediately.
 		defer func() { conn.Close(); <-writeDone }()
 		br := bufio.NewReader(conn)
-		for _, exp := range simulateRequests(data) {
+		exps, v2Rest, switched := simulateRequests(data)
+		terminated := false
+		for _, exp := range exps {
 			if exp.noFrame {
+				terminated = true
 				break
 			}
 			readResponseFrame(t, br, exp)
 			if exp.closes {
+				terminated = true
 				break
 			}
+		}
+		if switched && !terminated {
+			verifyV2Responses(t, br, v2Rest)
+			return
 		}
 		// Whatever remains must be connection close, not stray bytes.
 		if b, err := br.ReadByte(); err == nil {

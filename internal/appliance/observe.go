@@ -83,6 +83,9 @@ func NewObservability(st *core.Store) *Observability {
 	c("cache_faults", func(s core.Stats) int64 { return s.CacheFaults })
 	c("spill_disables", func(s core.Stats) int64 { return s.SpillDisables })
 	c("select_overflow", func(s core.Stats) int64 { return s.SelectOverflow })
+	c("pinned_reads", func(s core.Stats) int64 { return s.PinnedReads })
+	c("group_commits", func(s core.Stats) int64 { return s.GroupCommits })
+	c("coalesced_flushes", func(s core.Stats) int64 { return s.CoalescedFlushes })
 	c("backend_bytes_read", func(s core.Stats) int64 { return s.BackendBytesRead })
 	c("backend_bytes_written", func(s core.Stats) int64 { return s.BackendBytesWritten })
 	c("cache_bytes_served", func(s core.Stats) int64 { return s.CacheBytesServed })
@@ -195,6 +198,12 @@ func (o *Observability) AttachServer(srv *Server) {
 	r.Counter("sievestore.server.busy_rejects", func() int64 { return srv.StatsSnapshot().BusyRejects })
 	r.Counter("sievestore.server.requests", func() int64 { return srv.StatsSnapshot().Requests })
 	r.Counter("sievestore.server.error_frames", func() int64 { return srv.StatsSnapshot().ErrorFrames })
+	r.Counter("sievestore.server.v2_conns", func() int64 { return srv.StatsSnapshot().V2Conns })
+	r.Counter("sievestore.server.pipelined_requests", func() int64 { return srv.StatsSnapshot().PipelinedReqs })
+	r.Gauge("sievestore.server.pipeline_depth", func() float64 { return float64(srv.StatsSnapshot().PipelineDepth) })
+	r.Counter("sievestore.server.vec_ops", func() int64 { return srv.StatsSnapshot().VecOps })
+	r.Counter("sievestore.server.vec_extents", func() int64 { return srv.StatsSnapshot().VecExtents })
+	r.Counter("sievestore.server.zero_copy_bytes", func() int64 { return srv.StatsSnapshot().ZeroCopyBytes })
 }
 
 // AttachResilience registers the fault-tolerant backend wrapper's

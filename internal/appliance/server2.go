@@ -1,0 +1,312 @@
+// Server-side protocol v2: the pipelined connection loop. One reader
+// pulls tagged frames off the wire and dispatches each request to a
+// worker (bounded by ServerOptions.MaxPipeline); workers complete out of
+// order, staging responses under a per-connection write mutex. Reads are
+// served zero-copy from pinned cache frames where the blocks are
+// resident.
+package appliance
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+// serveConnV2 takes over a connection that negotiated protocol v2. The
+// terminating conditions mirror serveConn's: a malformed header, an
+// unknown op, or a redundant HELLO close the connection after an error
+// frame — but only after every in-flight worker has responded, so the
+// closer error frame is deterministically the last frame on the wire.
+// Malformed vector payloads and out-of-range ids answer an error frame
+// and keep the connection (the payload was fully consumed, so the stream
+// stays frame-aligned).
+func (s *Server) serveConnV2(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+	maxP := s.opts.MaxPipeline
+	if maxP <= 0 {
+		maxP = defaultMaxPipeline
+	}
+	var (
+		wmu      sync.Mutex // serializes response staging + flush
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, maxP)
+		inflight atomic.Int64
+	)
+	// Drain workers before serveConn's deferred conn.Close(): every
+	// accepted request gets its response bytes staged and flushed.
+	defer wg.Wait()
+	hdr := make([]byte, headerSizeV2)
+	for {
+		// Idle enforcement is best-effort between pipelined bursts: the
+		// deadline is armed only while nothing is in flight (a worker
+		// slower than IdleTimeout must not kill the connection under the
+		// reader's feet).
+		if s.opts.IOTimeout <= 0 && s.opts.IdleTimeout > 0 && inflight.Load() == 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			return // EOF, idle timeout, or broken connection
+		}
+		s.requests.Add(1)
+		h, err := decodeHeaderV2(hdr)
+		if err != nil {
+			// The tag field sits at a fixed offset even in a rejected
+			// header; echo it so the client can fail the right op.
+			tag := binary.BigEndian.Uint32(hdr[2:6])
+			wg.Wait()
+			s.sendErrV2(conn, bw, &wmu, tag, err)
+			return
+		}
+		if s.opts.IOTimeout > 0 {
+			// Like v1: the deadline covers this request's remaining wire
+			// I/O. Pipelined responses re-arm it per arriving request.
+			conn.SetDeadline(time.Now().Add(s.opts.IOTimeout))
+		} else if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Time{})
+		}
+		var payload []byte
+		switch h.op {
+		case OpWrite, OpReadV, OpWriteV:
+			payload = poolGet(int(h.length))
+			if _, err := io.ReadFull(br, payload); err != nil {
+				poolPut(payload)
+				return
+			}
+		}
+		switch h.op {
+		case OpRead, OpWrite, OpStats, OpRotate, OpInvalidate, OpFlush, OpReadV, OpWriteV:
+			if inflight.Add(1) > 1 {
+				s.pipelinedReqs.Add(1)
+			}
+			s.pipelineDepth.Add(1)
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(h headerV2, payload []byte) {
+				defer func() {
+					<-sem
+					s.pipelineDepth.Add(-1)
+					// When the pipeline drains, re-arm the idle deadline:
+					// the reader is already blocked in ReadFull by now and
+					// only checks at loop top, before this worker ran.
+					if inflight.Add(-1) == 0 && s.opts.IOTimeout <= 0 && s.opts.IdleTimeout > 0 {
+						conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+					}
+					wg.Done()
+				}()
+				s.handleV2(conn, bw, &wmu, h, payload)
+			}(h, payload)
+		default:
+			// Unknown op — including a redundant OpHello — terminates,
+			// like v1.
+			poolPut(payload)
+			wg.Wait()
+			s.sendErrV2(conn, bw, &wmu, h.tag, fmt.Errorf("%w: unknown op %d", ErrProtocol, h.op))
+			return
+		}
+	}
+}
+
+// handleV2 executes one request and stages its response. payload is
+// pool-owned and released here.
+func (s *Server) handleV2(conn net.Conn, bw *bufio.Writer, wmu *sync.Mutex, h headerV2, payload []byte) {
+	defer poolPut(payload)
+	// Same id-range guard as v1, for the ops whose header ids address
+	// blocks (vector ops carry ids per extent, checked below).
+	switch h.op {
+	case OpRead, OpWrite, OpInvalidate:
+		if int(h.server) >= block.MaxServers || int(h.volume) >= block.MaxVolumes {
+			s.sendErrV2(conn, bw, wmu, h.tag, fmt.Errorf("appliance: server %d / volume %d out of range", h.server, h.volume))
+			return
+		}
+	}
+	switch h.op {
+	case OpRead:
+		n := int(h.length)
+		pr := s.store.ReadPinned(int(h.server), int(h.volume), n, h.offset)
+		pinned := 0
+		if pr != nil {
+			pinned = pr.Bytes()
+		}
+		var tail []byte
+		if n > pinned || n == 0 {
+			tail = poolGet(n - pinned)
+			if err := s.store.ReadAt(int(h.server), int(h.volume), tail, h.offset+uint64(pinned)); err != nil {
+				if pr != nil {
+					pr.Release()
+				}
+				poolPut(tail)
+				s.sendErrV2(conn, bw, wmu, h.tag, err)
+				return
+			}
+		}
+		s.zeroCopyBytes.Add(int64(pinned))
+		wmu.Lock()
+		var head [respHeadV2]byte
+		respHead(head[:], h.tag, statusOK)
+		bw.Write(head[:])
+		if pr != nil {
+			for _, v := range pr.Views() {
+				bw.Write(v)
+			}
+		}
+		if len(tail) > 0 {
+			bw.Write(tail)
+		}
+		err := bw.Flush()
+		wmu.Unlock()
+		if pr != nil {
+			pr.Release()
+		}
+		if tail != nil {
+			poolPut(tail)
+		}
+		if err != nil {
+			conn.Close()
+		}
+	case OpWrite:
+		if err := s.store.WriteAt(int(h.server), int(h.volume), payload, h.offset); err != nil {
+			s.sendErrV2(conn, bw, wmu, h.tag, err)
+			return
+		}
+		s.writeFrameV2(conn, bw, wmu, h.tag, statusOK, nil)
+	case OpStats:
+		data, err := json.Marshal(s.store.Stats())
+		if err != nil {
+			s.sendErrV2(conn, bw, wmu, h.tag, err)
+			return
+		}
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+		s.writeFrameV2(conn, bw, wmu, h.tag, statusOK, lenBuf[:], data)
+	case OpRotate:
+		if err := s.store.RotateEpoch(); err != nil {
+			s.sendErrV2(conn, bw, wmu, h.tag, err)
+			return
+		}
+		s.writeFrameV2(conn, bw, wmu, h.tag, statusOK, nil)
+	case OpInvalidate:
+		dropped, err := s.store.Invalidate(int(h.server), int(h.volume), h.offset, int(h.length))
+		if err != nil {
+			s.sendErrV2(conn, bw, wmu, h.tag, err)
+			return
+		}
+		var resp [4]byte
+		binary.BigEndian.PutUint32(resp[:], uint32(dropped))
+		s.writeFrameV2(conn, bw, wmu, h.tag, statusOK, resp[:])
+	case OpFlush:
+		if err := s.store.Flush(); err != nil {
+			s.sendErrV2(conn, bw, wmu, h.tag, err)
+			return
+		}
+		s.writeFrameV2(conn, bw, wmu, h.tag, statusOK, nil)
+	case OpReadV:
+		s.handleReadV(conn, bw, wmu, h, payload)
+	case OpWriteV:
+		s.handleWriteV(conn, bw, wmu, h, payload)
+	}
+}
+
+// parseVec decodes and fully validates a vector payload, answering the
+// error frame itself on failure.
+func (s *Server) parseVec(conn net.Conn, bw *bufio.Writer, wmu *sync.Mutex, h headerV2, payload []byte) ([]wireExtent, []byte, int, bool) {
+	tab, rest, total, err := decodeExtentTable(payload)
+	if err != nil {
+		s.sendErrV2(conn, bw, wmu, h.tag, err)
+		return nil, nil, 0, false
+	}
+	for _, e := range tab {
+		if int(e.server) >= block.MaxServers || int(e.volume) >= block.MaxVolumes {
+			s.sendErrV2(conn, bw, wmu, h.tag, fmt.Errorf("appliance: server %d / volume %d out of range", e.server, e.volume))
+			return nil, nil, 0, false
+		}
+	}
+	return tab, rest, total, true
+}
+
+func (s *Server) handleReadV(conn net.Conn, bw *bufio.Writer, wmu *sync.Mutex, h headerV2, payload []byte) {
+	tab, rest, total, ok := s.parseVec(conn, bw, wmu, h, payload)
+	if !ok {
+		return
+	}
+	if len(rest) != 0 {
+		s.sendErrV2(conn, bw, wmu, h.tag, fmt.Errorf("%w: %d stray bytes after read vector table", ErrProtocol, len(rest)))
+		return
+	}
+	s.vecOps.Add(1)
+	s.vecExtents.Add(int64(len(tab)))
+	buf := poolGet(total)
+	vecs := make([]core.IOVec, len(tab))
+	off := 0
+	for i, e := range tab {
+		vecs[i] = core.IOVec{Server: int(e.server), Volume: int(e.volume), P: buf[off : off+int(e.length)], Off: e.off}
+		off += int(e.length)
+	}
+	if err := s.store.ReadVec(vecs); err != nil {
+		poolPut(buf)
+		s.sendErrV2(conn, bw, wmu, h.tag, err)
+		return
+	}
+	s.writeFrameV2(conn, bw, wmu, h.tag, statusOK, buf)
+	poolPut(buf)
+}
+
+func (s *Server) handleWriteV(conn net.Conn, bw *bufio.Writer, wmu *sync.Mutex, h headerV2, payload []byte) {
+	tab, rest, total, ok := s.parseVec(conn, bw, wmu, h, payload)
+	if !ok {
+		return
+	}
+	if len(rest) != total {
+		s.sendErrV2(conn, bw, wmu, h.tag, fmt.Errorf("%w: write vector data is %d bytes, table says %d", ErrProtocol, len(rest), total))
+		return
+	}
+	s.vecOps.Add(1)
+	s.vecExtents.Add(int64(len(tab)))
+	vecs := make([]core.IOVec, len(tab))
+	off := 0
+	for i, e := range tab {
+		vecs[i] = core.IOVec{Server: int(e.server), Volume: int(e.volume), P: rest[off : off+int(e.length)], Off: e.off}
+		off += int(e.length)
+	}
+	if err := s.store.WriteVec(vecs); err != nil {
+		s.sendErrV2(conn, bw, wmu, h.tag, err)
+		return
+	}
+	s.writeFrameV2(conn, bw, wmu, h.tag, statusOK, nil)
+}
+
+// writeFrameV2 stages one tagged response frame under the write mutex
+// and flushes it. A flush failure closes the connection (unblocking the
+// reader); the remaining workers' flushes then fail the same way.
+func (s *Server) writeFrameV2(conn net.Conn, bw *bufio.Writer, wmu *sync.Mutex, tag uint32, status byte, segs ...[]byte) {
+	wmu.Lock()
+	var head [respHeadV2]byte
+	respHead(head[:], tag, status)
+	bw.Write(head[:])
+	for _, seg := range segs {
+		if len(seg) > 0 {
+			bw.Write(seg)
+		}
+	}
+	err := bw.Flush()
+	wmu.Unlock()
+	if err != nil {
+		conn.Close()
+	}
+}
+
+// sendErrV2 stages a tagged error frame.
+func (s *Server) sendErrV2(conn net.Conn, bw *bufio.Writer, wmu *sync.Mutex, tag uint32, err error) {
+	s.errorFrames.Add(1)
+	msg := truncateErrMsg(err.Error(), maxErrMsg)
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(msg)))
+	s.writeFrameV2(conn, bw, wmu, tag, statusErr, lenBuf[:], []byte(msg))
+}

@@ -140,6 +140,9 @@ func (sc *StripedClient) Stats() (core.Stats, error) {
 		total.DegradedExits += s.DegradedExits
 		total.CacheFaults += s.CacheFaults
 		total.SpillDisables += s.SpillDisables
+		total.PinnedReads += s.PinnedReads
+		total.GroupCommits += s.GroupCommits
+		total.CoalescedFlushes += s.CoalescedFlushes
 		total.Degraded = total.Degraded || s.Degraded
 		total.ReadLatency = total.ReadLatency.Add(s.ReadLatency)
 		total.WriteLatency = total.WriteLatency.Add(s.WriteLatency)

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/block"
+)
+
+// PinnedRead is a zero-copy view of cache-resident blocks returned by
+// Store.ReadPinned. The views alias the cache's own frame buffers: they
+// are immutable (concurrent writes to a pinned block go copy-on-write
+// into a fresh frame) and stay valid until Release, which must be called
+// exactly once — typically after the bytes have been written to a wire.
+type PinnedRead struct {
+	views  [][]byte
+	shards []*shard // parallel to views
+}
+
+// Views returns the pinned block frames in request order. Callers must
+// not mutate or retain them past Release.
+func (pr *PinnedRead) Views() [][]byte { return pr.views }
+
+// Blocks returns the number of pinned blocks.
+func (pr *PinnedRead) Blocks() int { return len(pr.views) }
+
+// Bytes returns the total pinned payload size.
+func (pr *PinnedRead) Bytes() int { return len(pr.views) * block.Size }
+
+// Release drops the pins. Frames evicted or replaced while pinned are
+// recycled here, on the last unpin.
+func (pr *PinnedRead) Release() {
+	for i := 0; i < len(pr.views); {
+		sh := pr.shards[i]
+		j := i
+		sh.mu.Lock()
+		for j < len(pr.views) && pr.shards[j] == sh {
+			sh.unpinLocked(pr.views[j])
+			j++
+		}
+		sh.mu.Unlock()
+		i = j
+	}
+	pr.views = nil
+	pr.shards = nil
+}
+
+// ReadPinned serves the longest all-hit prefix of the request
+// [off, off+n) straight from the cache as pinned zero-copy frame views,
+// or nil when nothing is pinnable (bad geometry, degraded or closed
+// store, or a miss on the very first block) — the caller then falls back
+// to ReadAt for the whole request. On a partial prefix the caller writes
+// the views first and issues a ReadAt for the remaining tail;
+// hit/byte accounting and SieveStore-D access logging for the pinned
+// blocks happen here, so the two halves together count exactly like one
+// ReadAt. The whole-call latency histogram is observed only when the
+// prefix covers the full request (a partial prefix's tail ReadAt records
+// the op), keeping read-op counts at one per request.
+func (s *Store) ReadPinned(server, volume, n int, off uint64) *PinnedRead {
+	if n <= 0 || n%block.Size != 0 || off%block.Size != 0 {
+		return nil
+	}
+	if end := off + uint64(n); end < off || (end-1)/block.Size > block.MaxBlockNumber {
+		return nil
+	}
+	if server < 0 || server >= block.MaxServers || volume < 0 || volume >= block.MaxVolumes {
+		return nil
+	}
+	if s.closed.Load() || s.degraded.Load() {
+		// Degraded mode bypasses the cache (and meters recovery probes);
+		// the ReadAt fallback owns that logic.
+		return nil
+	}
+	var start time.Duration
+	if s.opts.TrackLatency {
+		start = time.Since(s.monoBase)
+	}
+	s.maybeRotate()
+	if s.closed.Load() {
+		return nil
+	}
+	nBlocks := n / block.Size
+	first := off / block.Size
+	pr := &PinnedRead{}
+loop:
+	for i := 0; i < nBlocks; {
+		sh := s.shardOf(block.MakeKey(server, volume, first+uint64(i)))
+		j := i + 1
+		for j < nBlocks && s.shardOf(block.MakeKey(server, volume, first+uint64(j))) == sh {
+			j++
+		}
+		sh.mu.Lock()
+		for ; i < j; i++ {
+			key := block.MakeKey(server, volume, first+uint64(i))
+			if !sh.tags.Touch(key) {
+				sh.mu.Unlock()
+				break loop
+			}
+			f := sh.frames[key]
+			sh.pinLocked(f)
+			sh.stats.Reads++
+			sh.stats.ReadHits++
+			sh.stats.PinnedReads++
+			sh.stats.CacheBytesServed += block.Size
+			pr.views = append(pr.views, f)
+			pr.shards = append(pr.shards, sh)
+		}
+		sh.mu.Unlock()
+	}
+	if len(pr.views) == 0 {
+		return nil
+	}
+	// Log exactly the blocks served here; the caller's tail ReadAt logs
+	// (and counts) the rest itself.
+	s.logAccess(server, volume, first, len(pr.views))
+	if s.opts.TrackLatency && len(pr.views) == nBlocks {
+		s.histRead.Observe(time.Since(s.monoBase) - start)
+	}
+	return pr
+}

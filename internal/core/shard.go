@@ -121,11 +121,86 @@ type shard struct {
 	// install its (older) fetched copy of them. The shard's commit
 	// consumes and clears it.
 	rotSkip map[block.Key]bool
-	stats   Stats
+	// pins tracks frames lent out to zero-copy readers (Store.ReadPinned),
+	// keyed by the frame's backing array. A pinned frame is never mutated
+	// or recycled: eviction/replacement dooms it instead, and the last
+	// unpin returns it to the free list.
+	pins  map[*byte]*framePin
+	stats Stats
 
 	// _pad keeps adjacent shard allocations from false-sharing a cache
 	// line when the allocator packs them.
 	_pad [64]byte //nolint:unused
+}
+
+// framePin is the refcount for one frame lent out by Store.ReadPinned.
+// Guarded by the owning shard's mutex.
+type framePin struct {
+	refs   int
+	doomed bool // evicted or replaced while pinned: recycle on last unpin
+}
+
+// pinLocked takes a reference on a resident frame for a zero-copy reader.
+func (sh *shard) pinLocked(f []byte) {
+	if sh.pins == nil {
+		sh.pins = make(map[*byte]*framePin)
+	}
+	p := sh.pins[&f[0]]
+	if p == nil {
+		p = &framePin{}
+		sh.pins[&f[0]] = p
+	}
+	p.refs++
+}
+
+// unpinLocked drops a reference; the last unpin of a doomed frame returns
+// it to the free list.
+func (sh *shard) unpinLocked(f []byte) {
+	k := &f[0]
+	p := sh.pins[k]
+	if p == nil {
+		return
+	}
+	if p.refs--; p.refs > 0 {
+		return
+	}
+	delete(sh.pins, k)
+	if p.doomed {
+		sh.free = append(sh.free, f)
+	}
+}
+
+// recycleLocked returns a frame the cache no longer references to the
+// shard's free list — unless a zero-copy reader still holds it pinned, in
+// which case the frame is doomed and recycled on the last unpin instead.
+// Every eviction/replacement path must route frames through here:
+// appending to sh.free directly could hand a pinned frame to a writer
+// while its bytes are still on their way to a wire.
+func (sh *shard) recycleLocked(f []byte) {
+	if f == nil {
+		return
+	}
+	if p, ok := sh.pins[&f[0]]; ok {
+		p.doomed = true
+		return
+	}
+	sh.free = append(sh.free, f)
+}
+
+// writeFrameLocked folds data into key's resident frame. A pinned frame
+// is never mutated in place (its bytes are owned by in-flight zero-copy
+// responses): the update goes into a fresh frame swapped into the map,
+// and the pinned original is doomed.
+func (sh *shard) writeFrameLocked(key block.Key, data []byte) {
+	f := sh.frames[key]
+	if p, ok := sh.pins[&f[0]]; ok {
+		p.doomed = true
+		nf := sh.alloc()
+		copy(nf, data)
+		sh.frames[key] = nf
+		return
+	}
+	copy(f, data)
 }
 
 // alloc hands out a frame, preferring the shard's free list (frames
@@ -189,7 +264,7 @@ func (sh *shard) install(key block.Key, data []byte) bool {
 	}
 	if victim, evicted := sh.tags.Insert(key); evicted {
 		sh.stats.Evictions++
-		sh.free = append(sh.free, sh.frames[victim])
+		sh.recycleLocked(sh.frames[victim])
 		delete(sh.frames, victim)
 	}
 	frame := sh.alloc()
@@ -490,7 +565,7 @@ func (sh *shard) commitEpochLocked(selected []block.Key, fetched map[block.Key][
 	_, evicted, overflow := sh.tags.Swap(final)
 	sh.stats.SelectOverflow += int64(overflow)
 	for _, k := range evicted {
-		sh.free = append(sh.free, sh.frames[k])
+		sh.recycleLocked(sh.frames[k])
 		delete(sh.frames, k)
 		sh.stats.Evictions++
 	}

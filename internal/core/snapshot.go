@@ -207,7 +207,7 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 		sh.staleFetchFlightsLocked()
 		for _, k := range sh.tags.Keys() {
 			sh.tags.Remove(k)
-			sh.free = append(sh.free, sh.frames[k])
+			sh.recycleLocked(sh.frames[k])
 			delete(sh.frames, k)
 		}
 		// Install in reverse so the hottest block ends most-recently-used.

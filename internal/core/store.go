@@ -138,6 +138,14 @@ type Options struct {
 	// errors; the fault-injection tests drive it directly. Epoch batch
 	// installs (VariantD commit) bypass the seam.
 	FrameFaultInjector func(key block.Key) error
+	// GroupCommitWindow coalesces concurrent Flush calls (write-back mode):
+	// the first flusher waits this long before starting the staged
+	// write-back pass, and every Flush arriving inside the window rides on
+	// that one pass instead of starting its own. 0 (the default) keeps the
+	// historical immediate-flush behavior. The appliance enables it via
+	// -group-commit-window so pipelined OpFlush frames from many clients
+	// collapse into one backend sweep.
+	GroupCommitWindow time.Duration
 	// Now supplies time; nil means time.Now. Injectable for tests and
 	// trace replay.
 	Now func() time.Time
@@ -207,6 +215,9 @@ func (o *Options) withDefaults() (Options, error) {
 	if out.DegradedProbeEvery < 0 {
 		return out, fmt.Errorf("core: DegradedProbeEvery %v must be positive", out.DegradedProbeEvery)
 	}
+	if out.GroupCommitWindow < 0 {
+		return out, fmt.Errorf("core: GroupCommitWindow %v must be ≥0", out.GroupCommitWindow)
+	}
 	if out.Now == nil {
 		out.Now = time.Now
 	}
@@ -243,6 +254,9 @@ type Stats struct {
 	CacheFaults            int64 // cache-device (frame-write) faults observed
 	SpillDisables          int64 // times SieveStore-D access logging was disabled by spill faults
 	SelectOverflow         int64 // hottest-first selected blocks dropped for capacity at epoch swaps (skewed key→shard splits, dirty retentions displacing the selection, tag-store truncation) — VariantD
+	PinnedReads            int64 // blocks served zero-copy via ReadPinned (a subset of ReadHits)
+	GroupCommits           int64 // staged flush passes started by Flush with group commit enabled
+	CoalescedFlushes       int64 // Flush calls that rode on another caller's group-committed pass
 	Degraded               bool  // whether the store is in cache-bypass mode right now
 
 	// ReadLatency/WriteLatency aggregate whole-call ReadAt/WriteAt service
@@ -277,6 +291,7 @@ func (s *Stats) accumulate(o Stats) {
 	s.ResetFailures += o.ResetFailures
 	s.FlushErrors += o.FlushErrors
 	s.SelectOverflow += o.SelectOverflow
+	s.PinnedReads += o.PinnedReads
 }
 
 // Hits returns total block hits.
@@ -388,6 +403,21 @@ type Store struct {
 
 	// trace is the sampled op-lifecycle ring (nil unless TraceSample > 0).
 	trace *metrics.TraceRing
+
+	// Group-commit state (Options.GroupCommitWindow > 0): gcBatch is the
+	// staged flush pass currently collecting joiners, if any. gcMu guards
+	// it; the pass itself runs with gcMu released.
+	gcMu             sync.Mutex
+	gcBatch          *flushBatch
+	groupCommits     atomic.Int64
+	coalescedFlushes atomic.Int64
+}
+
+// flushBatch is one group-committed flush pass: every Flush arriving
+// while it is open shares its outcome.
+type flushBatch struct {
+	done chan struct{}
+	err  error
 }
 
 // Open validates opts and returns a ready Store over backend.
@@ -539,6 +569,8 @@ func (s *Store) Stats() Stats {
 	st.DegradedExits = s.degradedExits.Load()
 	st.CacheFaults = s.cacheFaults.Load()
 	st.SpillDisables = s.spillDisables.Load()
+	st.GroupCommits = s.groupCommits.Load()
+	st.CoalescedFlushes = s.coalescedFlushes.Load()
 	st.Degraded = s.degraded.Load()
 	st.ReadLatency = latencyFromHistogram(s.histRead.Snapshot(), s.errRead.Load())
 	st.WriteLatency = latencyFromHistogram(s.histWrite.Snapshot(), s.errWrite.Load())
@@ -705,7 +737,7 @@ func (s *Store) dropRange(server, volume int, first uint64, n int) {
 			if g.sh.tags.Contains(key) {
 				delete(g.sh.dirty, key)
 				g.sh.tags.Remove(key)
-				g.sh.free = append(g.sh.free, g.sh.frames[key])
+				g.sh.recycleLocked(g.sh.frames[key])
 				delete(g.sh.frames, key)
 			}
 		}
@@ -1139,7 +1171,7 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 					key := block.MakeKey(server, volume, first+uint64(i))
 					data := p[i*block.Size : (i+1)*block.Size]
 					if g.sh.tags.Touch(key) {
-						copy(g.sh.frames[key], data)
+						g.sh.writeFrameLocked(key, data)
 						g.sh.stats.WriteHits++
 						hits++
 						continue
@@ -1178,7 +1210,7 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 			key := block.MakeKey(server, volume, first+uint64(i))
 			data := p[i*block.Size : (i+1)*block.Size]
 			if g.sh.tags.Touch(key) {
-				copy(g.sh.frames[key], data)
+				g.sh.writeFrameLocked(key, data)
 				g.sh.dirty[key] = true
 				g.sh.stats.WriteHits++
 				hits++
@@ -1234,10 +1266,44 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 // writes proceed. Blocks whose write-back fails stay dirty and resident
 // and are counted in Stats.FlushErrors; every shard is still visited and
 // the first error is returned.
+//
+// With Options.GroupCommitWindow set, concurrent flushes group-commit:
+// the first caller opens a batch and waits out the window before
+// sweeping, and every Flush arriving meanwhile shares that one sweep's
+// outcome instead of walking the shards again.
 func (s *Store) Flush() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	if s.opts.GroupCommitWindow <= 0 {
+		return s.flushAll()
+	}
+	s.gcMu.Lock()
+	if b := s.gcBatch; b != nil {
+		s.gcMu.Unlock()
+		s.coalescedFlushes.Add(1)
+		<-b.done
+		return b.err
+	}
+	b := &flushBatch{done: make(chan struct{})}
+	s.gcBatch = b
+	s.gcMu.Unlock()
+
+	time.Sleep(s.opts.GroupCommitWindow)
+	// Close the batch to joiners before sweeping: a Flush arriving after
+	// this point may be triggered by a write the sweep won't see, so it
+	// must start (or join) the next batch rather than this one.
+	s.gcMu.Lock()
+	s.gcBatch = nil
+	s.gcMu.Unlock()
+	s.groupCommits.Add(1)
+	b.err = s.flushAll()
+	close(b.done)
+	return b.err
+}
+
+// flushAll is one staged write-back sweep over every shard.
+func (s *Store) flushAll() error {
 	var err error
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -1829,7 +1895,7 @@ func (s *Store) Invalidate(server, volume int, off uint64, length int) (int, err
 				}
 			}
 			g.sh.tags.Remove(key)
-			g.sh.free = append(g.sh.free, g.sh.frames[key])
+			g.sh.recycleLocked(g.sh.frames[key])
 			delete(g.sh.frames, key)
 			dropped++
 		}

@@ -1,0 +1,74 @@
+package core
+
+import "sync"
+
+// IOVec is one extent of a scatter/gather batch handed to ReadVec or
+// WriteVec: len(P) bytes of volume (Server, Volume) at byte offset Off.
+type IOVec struct {
+	Server, Volume int
+	P              []byte
+	Off            uint64
+}
+
+// ReadVec serves the extents concurrently with bounded parallelism, each
+// with full ReadAt semantics (sieve admission, coalescing, degraded-mode
+// bypass). After the first failure no new extents are started; the first
+// error is returned and the data of extents that failed or never ran is
+// undefined.
+func (s *Store) ReadVec(vecs []IOVec) error { return s.eachVec(vecs, s.ReadAt) }
+
+// WriteVec applies the extents concurrently with bounded parallelism,
+// each with full WriteAt semantics. After the first failure no new
+// extents are started; extents already in flight still complete, so a
+// partial failure leaves a prefix-undefined mix of applied and
+// unapplied extents — like independent concurrent WriteAt calls would.
+func (s *Store) WriteVec(vecs []IOVec) error { return s.eachVec(vecs, s.WriteAt) }
+
+// eachVec fans the extents out over at most transitionWorkers goroutines.
+// A single-extent batch runs inline with no goroutine.
+func (s *Store) eachVec(vecs []IOVec, op func(server, volume int, p []byte, off uint64) error) error {
+	switch len(vecs) {
+	case 0:
+		return nil
+	case 1:
+		v := vecs[0]
+		return op(v.Server, v.Volume, v.P, v.Off)
+	}
+	workers := transitionWorkers
+	if workers > len(vecs) {
+		workers = len(vecs)
+	}
+	var (
+		mu    sync.Mutex
+		next  int
+		first error
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if first != nil || next >= len(vecs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				v := vecs[i]
+				if err := op(v.Server, v.Volume, v.P, v.Off); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
