@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-chaos cover bench bench-smoke bench-hot bench-wire experiments fuzz test-fuzz fmt vet lint clean
+.PHONY: all build test race test-chaos cover bench bench-smoke bench-hot bench-wire bench-tier experiments fuzz test-fuzz fmt vet lint clean
 
 # Tier-1 flow: compile, static checks, unit tests, the race detector over
 # every package (the concurrent store/appliance paths must stay
@@ -43,10 +43,11 @@ lint:
 COVER_FLOOR_metrics    := 90
 COVER_FLOOR_appliance  := 80
 COVER_FLOOR_cache      := 90
+COVER_FLOOR_tier       := 85
 
 cover:
 	@out=$$($(GO) test -cover ./internal/...); echo "$$out"; fail=0; \
-	for spec in metrics:$(COVER_FLOOR_metrics) appliance:$(COVER_FLOOR_appliance) cache:$(COVER_FLOOR_cache); do \
+	for spec in metrics:$(COVER_FLOOR_metrics) appliance:$(COVER_FLOOR_appliance) cache:$(COVER_FLOOR_cache) tier:$(COVER_FLOOR_tier); do \
 	  pkg=$${spec%%:*}; floor=$${spec##*:}; \
 	  pct=$$(echo "$$out" | awk -v p="repro/internal/$$pkg" \
 	    '$$2==p { for (i=1; i<=NF; i++) if ($$i ~ /%$$/) { gsub(/%/, "", $$i); print $$i } }'); \
@@ -72,6 +73,14 @@ bench-smoke:
 # shared-conn by ≥2× (pipelining must actually overlap the backend waits).
 bench-wire:
 	$(GO) run ./cmd/benchwire -out BENCH_wire.json
+
+# RAM-tier cost-performance matrix: the golden Zipf workload at tier sizes
+# {off, 5%, 10% of the SSD cache} × {read, readwrite}, written as
+# BENCH_tier.json for CI trend lines. The tier-hit fraction shows the
+# paper's selectivity effect one level up: a few percent of capacity
+# absorbing the majority of read hits.
+bench-tier:
+	$(GO) run ./cmd/benchtier -out BENCH_tier.json
 
 # Hit-path scaling sweep: pure cache-hit throughput at 1–8 GOMAXPROCS for
 # Shards=1 vs Shards=8. The headline number for the sharded-store work;

@@ -15,6 +15,8 @@
 //	appliance -listen :9000 -shards 8 -pprof 127.0.0.1:6060 -mutex-profile-fraction 5
 //	appliance -listen :9000 -backend-timeout 2s -retries 3 -max-conns 256 -idle-timeout 5m
 //	appliance -listen :9000 -metrics 127.0.0.1:9100 -trace-sample 64
+//	appliance -listen :9000 -ram-tier-mb 4 -tier-promote-hits 2
+//	appliance -listen :9000 -variant d -ram-tier-mb 4 -tier-autotune -tier-min-mb 1 -tier-max-mb 16
 package main
 
 import (
@@ -66,6 +68,12 @@ func main() {
 		retries        = flag.Int("retries", 0, "retries per backend op on transient errors (0: none; enables the fault-tolerant backend wrapper)")
 		maxConns       = flag.Int("max-conns", 0, "cap on concurrently served connections; extras get a busy error (0: unlimited)")
 		idleTimeout    = flag.Duration("idle-timeout", 0, "drop connections idle this long between requests (0: never)")
+
+		ramTierMB    = flag.Int64("ram-tier-mb", 0, "in-process RAM hot tier above the SSD cache, in MiB (0: disabled)")
+		promoteHits  = flag.Int("tier-promote-hits", 0, "repeated SSD read hits before a block is promoted to the RAM tier (0: default)")
+		tierAutotune = flag.Bool("tier-autotune", false, "resize the RAM tier at epoch boundaries per the cost advisor (variant d only)")
+		tierMinMB    = flag.Int64("tier-min-mb", 0, "autotune lower bound for the RAM tier, in MiB (0: default)")
+		tierMaxMB    = flag.Int64("tier-max-mb", 0, "autotune upper bound for the RAM tier, in MiB (0: cache size)")
 
 		protocol    = flag.String("protocol", "v2", "max wire protocol version: v2 (tagged pipelined frames, negotiated down per client) or v1 (legacy-exact)")
 		groupCommit = flag.Duration("group-commit-window", 0, "coalesce write-back flush requests arriving within this window into one backend sweep (0: flush immediately)")
@@ -131,6 +139,11 @@ func main() {
 		TraceSample:       *traceSample,
 		TraceRingSize:     *traceRing,
 		GroupCommitWindow: *groupCommit,
+		RAMTierBytes:      *ramTierMB << 20,
+		TierPromoteHits:   *promoteHits,
+		TierAutotune:      *tierAutotune,
+		TierMinBytes:      *tierMinMB << 20,
+		TierMaxBytes:      *tierMaxMB << 20,
 	}
 	switch *variant {
 	case "c":
@@ -209,6 +222,13 @@ func main() {
 				if s.FlushErrors > 0 || s.RotateFailures > 0 || s.ResetFailures > 0 {
 					line += fmt.Sprintf(" flushErr=%d rotateFail=%d resetFail=%d",
 						s.FlushErrors, s.RotateFailures, s.ResetFailures)
+				}
+				if ts, ok := st.TierStats(); ok {
+					line += fmt.Sprintf(" tierHits=%d tierCached=%d/%d tierPromo=%d tierDemo=%d",
+						ts.Hits, ts.CachedBlocks, ts.CapacityBlocks, ts.Promotions, ts.Demotions)
+					if ts.Resizes > 0 {
+						line += fmt.Sprintf(" tierResizes=%d", ts.Resizes)
+					}
 				}
 				if s.Degraded || s.DegradedEnters > 0 || s.SpillDisables > 0 {
 					line += fmt.Sprintf(" degraded=%v bypassR=%d bypassW=%d cacheFaults=%d spillDisables=%d",

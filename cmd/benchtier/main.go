@@ -1,0 +1,169 @@
+// Command benchtier measures the RAM tier's cost-performance effect on a
+// seeded Zipf workload: the same trace driven with the tier off, then at
+// 5% and 10% of the SSD cache, in a read-only and a 7:3 read/write mix.
+// It emits machine-readable JSON (BENCH_tier.json) for CI trend lines.
+//
+// The backend is in-memory, so the numbers isolate the cache stack's own
+// per-op cost: a tier hit is a shared read lock plus one copy, an SSD hit
+// is a shard mutex plus policy bookkeeping. The tier-hit fraction column
+// shows how much of the Zipf head each tier size captures; the paper's
+// selectivity argument predicts a few percent of capacity absorbing most
+// of the accesses.
+//
+// Usage:
+//
+//	benchtier -duration 2s -out BENCH_tier.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/sieve"
+	"repro/internal/store"
+)
+
+const (
+	spanBlocks  = 4096 // distinct blocks in the workload
+	cacheBlocks = 512  // SSD tier capacity
+	warmupOps   = 60000
+)
+
+type result struct {
+	TierPct       int     `json:"tier_pct"`
+	TierBytes     int64   `json:"tier_bytes"`
+	Mix           string  `json:"mix"`
+	Ops           int     `json:"ops"`
+	OpsPerS       float64 `json:"ops_per_s"`
+	P50us         float64 `json:"p50_us"`
+	P99us         float64 `json:"p99_us"`
+	HitRatio      float64 `json:"hit_ratio"`
+	TierHitFrac   float64 `json:"tier_hit_frac"`
+	Promotions    int64   `json:"tier_promotions"`
+	Demotions     int64   `json:"tier_demotions"`
+	Invalidations int64   `json:"tier_invalidations"`
+}
+
+type report struct {
+	SpanBlocks  int      `json:"span_blocks"`
+	CacheBlocks int      `json:"cache_blocks"`
+	DurationS   float64  `json:"duration_s_per_cell"`
+	Results     []result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtier: ")
+	var (
+		duration = flag.Duration("duration", 2*time.Second, "measurement time per cell")
+		outPath  = flag.String("out", "BENCH_tier.json", "JSON output path")
+	)
+	flag.Parse()
+
+	rep := report{SpanBlocks: spanBlocks, CacheBlocks: cacheBlocks, DurationS: duration.Seconds()}
+	for _, pct := range []int{0, 5, 10} {
+		tierBytes := int64(cacheBlocks*pct/100) * block.Size
+		for _, mix := range []string{"read", "readwrite"} {
+			r, err := runCell(tierBytes, mix == "readwrite", *duration)
+			if err != nil {
+				log.Fatalf("tier=%d%% %s: %v", pct, mix, err)
+			}
+			r.TierPct, r.TierBytes, r.Mix = pct, tierBytes, mix
+			rep.Results = append(rep.Results, r)
+			log.Printf("tier=%2d%% %-9s %9.0f ops/s  p50 %6.1f µs  p99 %6.1f µs  hit %.4f  tier-frac %.4f",
+				pct, mix, r.OpsPerS, r.P50us, r.P99us, r.HitRatio, r.TierHitFrac)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*outPath, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *outPath)
+}
+
+// runCell opens a fresh store with the given tier size, replays a seeded
+// Zipf warmup so the sieve admits and the promotion filter fills the
+// tier, then measures per-op latency on the same distribution for dur.
+func runCell(tierBytes int64, writes bool, dur time.Duration) (result, error) {
+	mem := store.NewMem()
+	mem.AddVolume(0, 0, (spanBlocks+4)*block.Size)
+	st, err := core.Open(mem, core.Options{
+		CacheBytes:   cacheBlocks * block.Size,
+		Shards:       8,
+		Policy:       "sieve",
+		RAMTierBytes: tierBytes,
+		SieveC: sieve.CConfig{
+			IMCTSize: 1 << 12, T1: 3, T2: 2,
+			Window: 2 * time.Minute, Subwindows: 4,
+		},
+	})
+	if err != nil {
+		return result{}, err
+	}
+	defer st.Close()
+
+	r := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(r, 1.2, 1, spanBlocks-1)
+	wbuf := bytes.Repeat([]byte{0xC3}, block.Size)
+	rbuf := make([]byte, block.Size)
+	op := func() error {
+		off := zipf.Uint64() * block.Size
+		if writes && r.Intn(10) >= 7 {
+			return st.WriteAt(0, 0, wbuf, off)
+		}
+		return st.ReadAt(0, 0, rbuf, off)
+	}
+	for i := 0; i < warmupOps; i++ {
+		if err := op(); err != nil {
+			return result{}, fmt.Errorf("warmup op %d: %w", i, err)
+		}
+	}
+
+	base := st.Stats()
+	samples := make([]time.Duration, 0, 1<<20)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		t0 := time.Now()
+		if err := op(); err != nil {
+			return result{}, err
+		}
+		samples = append(samples, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	stats := st.Stats()
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(samples)-1))
+		return float64(samples[i]) / float64(time.Microsecond)
+	}
+	reads := stats.Reads - base.Reads
+	res := result{
+		Ops:           len(samples),
+		OpsPerS:       float64(len(samples)) / elapsed.Seconds(),
+		P50us:         pct(0.50),
+		P99us:         pct(0.99),
+		Promotions:    stats.TierPromotions - base.TierPromotions,
+		Demotions:     stats.TierDemotions - base.TierDemotions,
+		Invalidations: stats.TierInvalidations - base.TierInvalidations,
+	}
+	if reads > 0 {
+		res.HitRatio = float64(stats.ReadHits-base.ReadHits) / float64(reads)
+		res.TierHitFrac = float64(stats.TierHits-base.TierHits) / float64(reads)
+	}
+	return res, nil
+}

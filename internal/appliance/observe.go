@@ -12,6 +12,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/sieve"
 	"repro/internal/sieved"
+	"repro/internal/tier"
 )
 
 // Observability collects every counter the system computes — per-shard
@@ -35,10 +36,12 @@ type Observability struct {
 	start time.Time
 	now   func() time.Time
 
-	mu    sync.RWMutex
-	stats core.Stats
-	sieve sieve.CStats
-	spill sieved.LoggerStats
+	mu     sync.RWMutex
+	stats  core.Stats
+	sieve  sieve.CStats
+	spill  sieved.LoggerStats
+	tier   tier.Stats
+	advice *tier.Advice
 }
 
 // NewObservability builds a registry over st's counters. Attach more
@@ -149,6 +152,41 @@ func NewObservability(st *core.Store) *Observability {
 	sc("pruned", func(s sieve.CStats) int64 { return s.Pruned })
 	r.Gauge("sievestore.sieve.mct_size", func() float64 { return float64(o.sieveStats().MCTSize) })
 
+	if _, ok := st.TierStats(); ok {
+		tc := func(name string, f func(tier.Stats) int64) {
+			r.Counter("sievestore.tier."+name, func() int64 { return f(o.tierStats()) })
+		}
+		tg := func(name string, f func(tier.Stats) float64) {
+			r.Gauge("sievestore.tier."+name, func() float64 { return f(o.tierStats()) })
+		}
+		tc("hits", func(s tier.Stats) int64 { return s.Hits })
+		tc("pinned", func(s tier.Stats) int64 { return s.Pinned })
+		tc("misses", func(s tier.Stats) int64 { return s.Misses })
+		tc("promotions", func(s tier.Stats) int64 { return s.Promotions })
+		tc("demotions", func(s tier.Stats) int64 { return s.Demotions })
+		tc("invalidations", func(s tier.Stats) int64 { return s.Invalidations })
+		tc("resizes", func(s tier.Stats) int64 { return s.Resizes })
+		tg("cached_blocks", func(s tier.Stats) float64 { return float64(s.CachedBlocks) })
+		tg("capacity_blocks", func(s tier.Stats) float64 { return float64(s.CapacityBlocks) })
+		tg("pinned_frames", func(s tier.Stats) float64 { return float64(s.PinnedFrames) })
+		tg("occupancy", func(s tier.Stats) float64 {
+			if s.CapacityBlocks == 0 {
+				return 0
+			}
+			return float64(s.CachedBlocks) / float64(s.CapacityBlocks)
+		})
+		// The advisor's latest cost-model recommendation (bytes); 0 until
+		// the first analysis lands (VariantD: the first epoch boundary).
+		r.Gauge("sievestore.tier.advisor_recommended_bytes", func() float64 {
+			o.mu.RLock()
+			defer o.mu.RUnlock()
+			if o.advice == nil {
+				return 0
+			}
+			return float64(o.advice.RecommendedBytes)
+		})
+	}
+
 	if _, ok := st.SpillStats(); ok {
 		sg := func(name string, f func(sieved.LoggerStats) float64) {
 			r.Gauge("sievestore.sieved."+name, func() float64 { return f(o.spillStats()) })
@@ -166,8 +204,13 @@ func (o *Observability) refresh() {
 	st := o.store.Stats()
 	sv := o.store.SieveStats()
 	sp, _ := o.store.SpillStats()
+	ts, tiered := o.store.TierStats()
+	var adv *tier.Advice
+	if tiered {
+		adv = o.store.TierAdvice()
+	}
 	o.mu.Lock()
-	o.stats, o.sieve, o.spill = st, sv, sp
+	o.stats, o.sieve, o.spill, o.tier, o.advice = st, sv, sp, ts, adv
 	o.mu.Unlock()
 }
 
@@ -187,6 +230,12 @@ func (o *Observability) spillStats() sieved.LoggerStats {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	return o.spill
+}
+
+func (o *Observability) tierStats() tier.Stats {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.tier
 }
 
 // AttachServer registers the appliance server's connection/request
@@ -237,6 +286,13 @@ func (o *Observability) Handler() http.Handler {
 			"shards":         o.store.Shards(),
 			"uptime_seconds": o.now().Sub(o.start).Seconds(),
 			"metrics":        o.Registry.JSONStatus(),
+		}
+		// The tier advisor's full candidate sweep, when a RAM tier exists:
+		// operators see the drive-cost curve, not just the argmin.
+		if _, ok := o.store.TierStats(); ok {
+			if adv := o.store.TierAdvice(); adv != nil {
+				body["tier_advisor"] = adv
+			}
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

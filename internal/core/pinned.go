@@ -4,16 +4,23 @@ import (
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/tier"
 )
 
 // PinnedRead is a zero-copy view of cache-resident blocks returned by
-// Store.ReadPinned. The views alias the cache's own frame buffers: they
-// are immutable (concurrent writes to a pinned block go copy-on-write
-// into a fresh frame) and stay valid until Release, which must be called
-// exactly once — typically after the bytes have been written to a wire.
+// Store.ReadPinned. The views alias the cache's own frame buffers — SSD
+// shard frames or RAM-tier frames: they are immutable (concurrent writes
+// to a pinned block go copy-on-write into a fresh frame, and tier frames
+// are invalidated, never mutated) and stay valid until Release, which
+// must be called exactly once — typically after the bytes have been
+// written to a wire.
 type PinnedRead struct {
 	views  [][]byte
-	shards []*shard // parallel to views
+	shards []*shard // parallel to views; nil entries are RAM-tier views
+	// tierPins parallels views when any RAM-tier frame is pinned (nil
+	// otherwise, so the tierless path allocates exactly as before);
+	// entries where shards[i] != nil are zero.
+	tierPins []tier.Pin
 }
 
 // Views returns the pinned block frames in request order. Callers must
@@ -31,6 +38,11 @@ func (pr *PinnedRead) Bytes() int { return len(pr.views) * block.Size }
 func (pr *PinnedRead) Release() {
 	for i := 0; i < len(pr.views); {
 		sh := pr.shards[i]
+		if sh == nil {
+			pr.tierPins[i].Release()
+			i++
+			continue
+		}
 		j := i
 		sh.mu.Lock()
 		for j < len(pr.views) && pr.shards[j] == sh {
@@ -42,19 +54,33 @@ func (pr *PinnedRead) Release() {
 	}
 	pr.views = nil
 	pr.shards = nil
+	pr.tierPins = nil
+}
+
+// appendTier records a RAM-tier view, growing tierPins lazily so reads
+// that never touch the tier keep the two-slice layout.
+func (pr *PinnedRead) appendTier(view []byte, p tier.Pin) {
+	if pr.tierPins == nil {
+		pr.tierPins = make([]tier.Pin, len(pr.views))
+	}
+	pr.views = append(pr.views, view)
+	pr.shards = append(pr.shards, nil)
+	pr.tierPins = append(pr.tierPins, p)
 }
 
 // ReadPinned serves the longest all-hit prefix of the request
 // [off, off+n) straight from the cache as pinned zero-copy frame views,
 // or nil when nothing is pinnable (bad geometry, degraded or closed
 // store, or a miss on the very first block) — the caller then falls back
-// to ReadAt for the whole request. On a partial prefix the caller writes
-// the views first and issues a ReadAt for the remaining tail;
-// hit/byte accounting and SieveStore-D access logging for the pinned
-// blocks happen here, so the two halves together count exactly like one
-// ReadAt. The whole-call latency histogram is observed only when the
-// prefix covers the full request (a partial prefix's tail ReadAt records
-// the op), keeping read-op counts at one per request.
+// to ReadAt for the whole request. RAM-tier-resident blocks are pinned
+// under the tier's read lock only; the rest pin SSD shard frames under
+// their shard mutex. On a partial prefix the caller writes the views
+// first and issues a ReadAt for the remaining tail; hit/byte accounting
+// and SieveStore-D access logging for the pinned blocks happen here, so
+// the two halves together count exactly like one ReadAt. The whole-call
+// latency histogram is observed only when the prefix covers the full
+// request (a partial prefix's tail ReadAt records the op), keeping
+// read-op counts at one per request.
 func (s *Store) ReadPinned(server, volume, n int, off uint64) *PinnedRead {
 	if n <= 0 || n%block.Size != 0 || off%block.Size != 0 {
 		return nil
@@ -81,30 +107,45 @@ func (s *Store) ReadPinned(server, volume, n int, off uint64) *PinnedRead {
 	nBlocks := n / block.Size
 	first := off / block.Size
 	pr := &PinnedRead{}
-loop:
-	for i := 0; i < nBlocks; {
-		sh := s.shardOf(block.MakeKey(server, volume, first+uint64(i)))
-		j := i + 1
-		for j < nBlocks && s.shardOf(block.MakeKey(server, volume, first+uint64(j))) == sh {
-			j++
-		}
-		sh.mu.Lock()
-		for ; i < j; i++ {
-			key := block.MakeKey(server, volume, first+uint64(i))
-			if !sh.tags.Touch(key) {
-				sh.mu.Unlock()
-				break loop
+	var locked *shard
+	for i := 0; i < nBlocks; i++ {
+		key := block.MakeKey(server, volume, first+uint64(i))
+		if s.tier != nil {
+			if view, p, ok := s.tier.Pin(key); ok {
+				// Tier hit accounting lives in the tier's atomics (folded
+				// into Stats); no shard is touched. Holding the previous
+				// run's shard lock here is fine — the tier lock is a leaf
+				// below every shard mutex.
+				pr.appendTier(view, p)
+				continue
 			}
-			f := sh.frames[key]
-			sh.pinLocked(f)
-			sh.stats.Reads++
-			sh.stats.ReadHits++
-			sh.stats.PinnedReads++
-			sh.stats.CacheBytesServed += block.Size
-			pr.views = append(pr.views, f)
-			pr.shards = append(pr.shards, sh)
 		}
-		sh.mu.Unlock()
+		sh := s.shardOf(key)
+		if locked != sh {
+			if locked != nil {
+				locked.mu.Unlock()
+			}
+			sh.mu.Lock()
+			locked = sh
+		}
+		if !sh.tags.Touch(key) {
+			break
+		}
+		f := sh.frames[key]
+		sh.pinLocked(f)
+		sh.stats.Reads++
+		sh.stats.ReadHits++
+		sh.stats.PinnedReads++
+		sh.stats.CacheBytesServed += block.Size
+		sh.promoteOnHitLocked(key)
+		pr.views = append(pr.views, f)
+		pr.shards = append(pr.shards, sh)
+		if pr.tierPins != nil {
+			pr.tierPins = append(pr.tierPins, tier.Pin{})
+		}
+	}
+	if locked != nil {
+		locked.mu.Unlock()
 	}
 	if len(pr.views) == 0 {
 		return nil

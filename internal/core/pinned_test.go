@@ -21,7 +21,7 @@ func admit(t *testing.T, s *Store, clk *fakeClock, off uint64) {
 			t.Fatal(err)
 		}
 	}
-	if !s.Contains(0, 0, off/block.Size) {
+	if !s.Contains(0, 0, off) {
 		t.Fatalf("block at %d not admitted after 3 misses", off)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/cache"
 	"repro/internal/sieve"
+	"repro/internal/tier"
 )
 
 // framePool recycles 512-byte block buffers across shards so that frame
@@ -125,7 +126,10 @@ type shard struct {
 	// keyed by the frame's backing array. A pinned frame is never mutated
 	// or recycled: eviction/replacement dooms it instead, and the last
 	// unpin returns it to the free list.
-	pins  map[*byte]*framePin
+	pins map[*byte]*framePin
+	// promo is this shard's RAM-tier promotion sieve (nil when the tier
+	// is disabled), bumped on SSD read hits under the shard lock.
+	promo *tier.PromoFilter
 	stats Stats
 
 	// _pad keeps adjacent shard allocations from false-sharing a cache
@@ -201,6 +205,27 @@ func (sh *shard) writeFrameLocked(key block.Key, data []byte) {
 		return
 	}
 	copy(f, data)
+}
+
+// promoteOnHitLocked offers one SSD read hit to the RAM tier's promotion
+// sieve and, once the block has earned it, copies its frame up into the
+// tier. Called under sh.mu, which linearizes the copy with frame
+// updates: a concurrent write cannot strand a stale copy in the tier,
+// because its own tier invalidation runs under this same lock after the
+// frame update.
+func (sh *shard) promoteOnHitLocked(key block.Key) {
+	if sh.promo != nil && sh.promo.Hit(key) {
+		sh.store.tier.Insert(key, sh.frames[key])
+	}
+}
+
+// tierInvalidate drops key's RAM-tier copy, if any. Callers must hold
+// key's store-shard mutex so the drop linearizes with the frame or
+// backend update it accompanies (see promoteOnHitLocked).
+func (s *Store) tierInvalidate(key block.Key) {
+	if s.tier != nil {
+		s.tier.Invalidate(key)
+	}
 }
 
 // alloc hands out a frame, preferring the shard's free list (frames

@@ -34,6 +34,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sieve"
 	"repro/internal/sieved"
+	"repro/internal/tier"
 )
 
 // Backend is the underlying storage ensemble. It matches
@@ -149,6 +150,31 @@ type Options struct {
 	// Now supplies time; nil means time.Now. Injectable for tests and
 	// trace replay.
 	Now func() time.Time
+	// Sleep supplies the group-commit flush window's wait; nil means
+	// time.Sleep. Injectable (alongside Now) so flush-window tests run
+	// deterministically without real sleeps.
+	Sleep func(time.Duration)
+	// RAMTierBytes sizes the in-process RAM tier above the SSD cache
+	// (internal/tier): blocks that keep hitting in the SSD tier are
+	// promoted into RAM and served without touching the shard mutex's
+	// frame bookkeeping. 0 (the default) disables the tier and leaves
+	// every code path bit-identical to a tierless store. Must be a
+	// multiple of the block size and at least one block per shard.
+	RAMTierBytes int64
+	// TierPromoteHits is how many repeated SSD-tier read hits promote a
+	// block into the RAM tier (via a small per-shard promotion sieve;
+	// default 2).
+	TierPromoteHits int
+	// TierAutotune lets the tier advisor resize the RAM tier at VariantD
+	// epoch boundaries, within [TierMinBytes, TierMaxBytes]. Requires
+	// RAMTierBytes > 0 and VariantD (the advisor replays the epoch
+	// logger's access counts; VariantC has no epochs to replay).
+	TierAutotune bool
+	// TierMinBytes/TierMaxBytes bound the advisor's candidate sweep and
+	// autotune resizes. Defaults: RAMTierBytes/4 (at least one block per
+	// shard) and 4×RAMTierBytes capped at CacheBytes.
+	TierMinBytes int64
+	TierMaxBytes int64
 }
 
 // DefaultShards returns the appliance's default shard count: GOMAXPROCS
@@ -221,6 +247,51 @@ func (o *Options) withDefaults() (Options, error) {
 	if out.Now == nil {
 		out.Now = time.Now
 	}
+	if out.Sleep == nil {
+		out.Sleep = time.Sleep
+	}
+	if out.RAMTierBytes < 0 || out.RAMTierBytes%block.Size != 0 {
+		return out, fmt.Errorf("core: RAMTierBytes %d must be a non-negative multiple of %d", out.RAMTierBytes, block.Size)
+	}
+	if out.RAMTierBytes > 0 && out.RAMTierBytes < int64(out.Shards)*block.Size {
+		return out, fmt.Errorf("core: RAMTierBytes %d below one block per shard (%d shards)", out.RAMTierBytes, out.Shards)
+	}
+	if out.TierPromoteHits == 0 {
+		out.TierPromoteHits = tier.DefaultPromoteHits
+	}
+	if out.TierPromoteHits < 1 {
+		return out, fmt.Errorf("core: TierPromoteHits must be ≥1, got %d", out.TierPromoteHits)
+	}
+	if out.RAMTierBytes > 0 {
+		if out.TierMinBytes == 0 {
+			out.TierMinBytes = out.RAMTierBytes / 4
+		}
+		if min := int64(out.Shards) * block.Size; out.TierMinBytes < min {
+			out.TierMinBytes = min
+		}
+		out.TierMinBytes -= out.TierMinBytes % block.Size
+		if out.TierMaxBytes == 0 {
+			out.TierMaxBytes = 4 * out.RAMTierBytes
+			if out.TierMaxBytes > out.CacheBytes {
+				out.TierMaxBytes = out.CacheBytes
+			}
+		}
+		out.TierMaxBytes -= out.TierMaxBytes % block.Size
+		if out.TierMinBytes > out.TierMaxBytes {
+			return out, fmt.Errorf("core: TierMinBytes %d exceeds TierMaxBytes %d", out.TierMinBytes, out.TierMaxBytes)
+		}
+		if out.RAMTierBytes < out.TierMinBytes || out.RAMTierBytes > out.TierMaxBytes {
+			return out, fmt.Errorf("core: RAMTierBytes %d outside [TierMinBytes %d, TierMaxBytes %d]", out.RAMTierBytes, out.TierMinBytes, out.TierMaxBytes)
+		}
+	}
+	if out.TierAutotune {
+		if out.RAMTierBytes == 0 {
+			return out, errors.New("core: TierAutotune requires RAMTierBytes > 0")
+		}
+		if out.Variant != VariantD {
+			return out, errors.New("core: TierAutotune requires VariantD (the advisor replays epoch access counts)")
+		}
+	}
 	return out, nil
 }
 
@@ -257,6 +328,14 @@ type Stats struct {
 	PinnedReads            int64 // blocks served zero-copy via ReadPinned (a subset of ReadHits)
 	GroupCommits           int64 // staged flush passes started by Flush with group commit enabled
 	CoalescedFlushes       int64 // Flush calls that rode on another caller's group-committed pass
+	PinnedFrames           int64 // frames currently lent out to zero-copy readers (SSD + RAM tier)
+	TierHits               int64 // blocks served from the RAM tier (a subset of ReadHits)
+	TierPromotions         int64 // blocks promoted from the SSD tier into RAM
+	TierDemotions          int64 // RAM-tier evictions back to SSD-resident-only
+	TierInvalidations      int64 // RAM-tier drops because the data changed below
+	TierCachedBlocks       int64 // current RAM-tier residency
+	TierCapacityBlocks     int64 // current RAM-tier capacity (autotune moves it)
+	TierResizes            int64 // RAM-tier capacity changes applied by autotune
 	Degraded               bool  // whether the store is in cache-bypass mode right now
 
 	// ReadLatency/WriteLatency aggregate whole-call ReadAt/WriteAt service
@@ -292,6 +371,7 @@ func (s *Stats) accumulate(o Stats) {
 	s.FlushErrors += o.FlushErrors
 	s.SelectOverflow += o.SelectOverflow
 	s.PinnedReads += o.PinnedReads
+	s.PinnedFrames += o.PinnedFrames
 }
 
 // Hits returns total block hits.
@@ -338,6 +418,15 @@ type Store struct {
 	shards    []*shard
 	shardMask uint64
 	logger    *sieved.Logger
+
+	// tier is the in-process RAM tier above the SSD cache (nil unless
+	// Options.RAMTierBytes > 0). Tier hits are served under the tier's
+	// read lock only; tier membership changes (promotion, invalidation)
+	// happen while the owning store shard's mutex is held, so they
+	// linearize with frame updates. tierAdvice is the latest epoch's
+	// advisor output (VariantD; nil before the first rotation).
+	tier       *tier.Cache
+	tierAdvice atomic.Pointer[tier.Advice]
 
 	closed atomic.Bool
 
@@ -461,6 +550,20 @@ func Open(backend Backend, opts Options) (*Store, error) {
 		sh.stats.CapacityBlocks = int64(caps[i])
 		s.shards[i] = sh
 	}
+	if o.RAMTierBytes > 0 {
+		// SIEVE is the tier's point: lookups touch one atomic bit, so the
+		// RAM hit path never takes an exclusive lock.
+		tc, err := tier.New(tier.Config{Bytes: o.RAMTierBytes, Shards: o.Shards, Policy: "sieve"})
+		if err != nil {
+			return nil, err
+		}
+		s.tier = tc
+		for _, sh := range s.shards {
+			// The promotion sieve lives in the store shard (bumped under its
+			// existing lock), so tier admission adds no locking to SSD hits.
+			sh.promo = tier.NewPromoFilter(0, o.TierPromoteHits)
+		}
+	}
 	switch o.Variant {
 	case VariantC:
 		// Each shard sieves its own slice of the key space; splitting the
@@ -554,11 +657,32 @@ func (s *Store) Stats() Stats {
 		sub := sh.stats
 		sub.CachedBlocks = int64(sh.tags.Len())
 		sub.DirtyBlocks = int64(len(sh.dirty))
+		sub.PinnedFrames = int64(len(sh.pins))
 		if sh.sieveC != nil {
 			sub.SieveTrackedBlocks = int64(sh.sieveC.Stats().MCTSize)
 		}
 		sh.mu.Unlock()
 		st.accumulate(sub)
+	}
+	if s.tier != nil {
+		ts := s.tier.Stats()
+		// Tier hits are real block reads served from cache — fold them
+		// into the read/hit/byte totals (they bypassed the shards' own
+		// accounting by design) and report the tier-specific counters
+		// alongside. CachedBlocks stays SSD-only: the tier holds extra
+		// copies, not extra residency.
+		st.Reads += ts.Hits
+		st.ReadHits += ts.Hits
+		st.CacheBytesServed += ts.Hits * block.Size
+		st.PinnedReads += ts.Pinned
+		st.PinnedFrames += ts.PinnedFrames
+		st.TierHits = ts.Hits
+		st.TierPromotions = ts.Promotions
+		st.TierDemotions = ts.Demotions
+		st.TierInvalidations = ts.Invalidations
+		st.TierCachedBlocks = ts.CachedBlocks
+		st.TierCapacityBlocks = ts.CapacityBlocks
+		st.TierResizes = ts.Resizes
 	}
 	st.Epochs = s.epochs.Load()
 	st.RotateFailures = s.rotateFailures.Load()
@@ -727,6 +851,7 @@ func (s *Store) dropRange(server, volume int, first uint64, n int) {
 		g.sh.mu.Lock()
 		for _, i := range g.idxs {
 			key := block.MakeKey(server, volume, first+uint64(i))
+			s.tierInvalidate(key)
 			if f, ok := g.sh.inflight[key]; ok {
 				f.stale = true
 				delete(g.sh.inflight, key)
@@ -853,10 +978,39 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	now := s.now()
 	nBlocks := len(p) / block.Size
 	first := off / block.Size
 	s.logAccess(server, volume, first, nBlocks)
+
+	// RAM-tier pass: blocks resident in the in-process tier are served
+	// under its read lock plus one atomic reference-bit store — no shard
+	// mutex, no policy bookkeeping. Hit accounting lives in the tier's
+	// own atomics (folded into Stats), so an all-tier read touches no
+	// shard at all. Single-block requests (the hot case) skip the
+	// served-mask allocation: a hit returns here, a miss needs no mask.
+	var tierServed []bool
+	var nTier int
+	if s.tier != nil {
+		for i := 0; i < nBlocks; i++ {
+			if s.tier.Lookup(block.MakeKey(server, volume, first+uint64(i)), p[i*block.Size:(i+1)*block.Size]) {
+				if tierServed == nil && nBlocks > 1 {
+					tierServed = make([]bool, nBlocks)
+				}
+				if tierServed != nil {
+					tierServed[i] = true
+				}
+				nTier++
+			}
+		}
+		if nTier == nBlocks {
+			if tr != nil {
+				tr.Hits = nBlocks
+				tr.TierHits = nBlocks
+			}
+			return nil
+		}
+	}
+	now := s.now()
 
 	// A miss is either owned (this call fetches it) or joined (another
 	// call's flight will deliver it); idx is the block's position in p.
@@ -874,9 +1028,14 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 	// whole request is a single critical section, exactly the unsharded
 	// behavior).
 	for i := 0; i < nBlocks; {
+		if tierServed != nil && tierServed[i] {
+			i++
+			continue
+		}
 		sh := s.shardOf(block.MakeKey(server, volume, first+uint64(i)))
 		j := i + 1
-		for j < nBlocks && s.shardOf(block.MakeKey(server, volume, first+uint64(j))) == sh {
+		for j < nBlocks && (tierServed == nil || !tierServed[j]) &&
+			s.shardOf(block.MakeKey(server, volume, first+uint64(j))) == sh {
 			j++
 		}
 		sh.mu.Lock()
@@ -887,6 +1046,7 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 				copy(p[i*block.Size:(i+1)*block.Size], sh.frames[key])
 				sh.stats.ReadHits++
 				sh.stats.CacheBytesServed += block.Size
+				sh.promoteOnHitLocked(key)
 				continue
 			}
 			if f, ok := sh.inflight[key]; ok {
@@ -968,6 +1128,7 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 		tr.Misses = len(mine)
 		tr.Coalesced = len(joined)
 		tr.Hits = nBlocks - len(mine) - len(joined)
+		tr.TierHits = nTier
 		tr.Admitted = admitted
 	}
 	if fetchErr != nil {
@@ -1165,10 +1326,15 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 					g.sh.stats.BackendBytesWritten += int64(len(p))
 				}
 				for _, i := range g.idxs {
+					key := block.MakeKey(server, volume, first+uint64(i))
+					// The backend holds the new data: a RAM-tier copy (the
+					// tier can outlive SSD residency) is stale now. Under
+					// this shard's lock, so no reader can re-promote the old
+					// frame in between.
+					s.tierInvalidate(key)
 					if flights[i].stale || s.closed.Load() {
 						continue // invalidated (or store closed) mid-write
 					}
-					key := block.MakeKey(server, volume, first+uint64(i))
 					data := p[i*block.Size : (i+1)*block.Size]
 					if g.sh.tags.Touch(key) {
 						g.sh.writeFrameLocked(key, data)
@@ -1203,11 +1369,14 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 	for _, g := range groups {
 		g.sh.mu.Lock()
 		for _, i := range g.idxs {
+			key := block.MakeKey(server, volume, first+uint64(i))
+			// Whether the write lands dirty in the cache or goes through to
+			// the backend below, any RAM-tier copy is superseded.
+			s.tierInvalidate(key)
 			if flights[i].stale || s.closed.Load() {
 				through[i] = true
 				continue
 			}
-			key := block.MakeKey(server, volume, first+uint64(i))
 			data := p[i*block.Size : (i+1)*block.Size]
 			if g.sh.tags.Touch(key) {
 				g.sh.writeFrameLocked(key, data)
@@ -1289,7 +1458,10 @@ func (s *Store) Flush() error {
 	s.gcBatch = b
 	s.gcMu.Unlock()
 
-	time.Sleep(s.opts.GroupCommitWindow)
+	// The window wait goes through the injected Options.Sleep seam (the
+	// only intentional wait on the I/O paths) so flush-window tests pair
+	// it with Options.Now and run without real sleeps.
+	s.opts.Sleep(s.opts.GroupCommitWindow)
 	// Close the batch to joiners before sweeping: a Flush arriving after
 	// this point may be triggered by a write the sweep won't see, so it
 	// must start (or join) the next batch rather than this one.
@@ -1824,6 +1996,11 @@ func (s *Store) rotateStaged() (committed bool, err error) {
 	}
 	s.epochs.Add(1)
 
+	// The RAM-tier advisor replays this epoch's access counts against
+	// the drive-cost model before stage 5 resets them (no-op with the
+	// tier disabled, keeping the tierless rotation byte-identical).
+	s.tierEpochAdvice()
+
 	// Stage 5: reset the logs — no locks held again (the logger is safe
 	// for concurrent use, and accesses logged since Select carry into the
 	// new epoch). The swap is already committed; a reset failure is
@@ -1871,6 +2048,10 @@ func (s *Store) Invalidate(server, volume int, off uint64, length int) (int, err
 		g.sh.mu.Lock()
 		for _, i := range g.idxs {
 			key := block.MakeKey(server, volume, first+uint64(i))
+			// The RAM tier can hold blocks the SSD tier has since evicted,
+			// so its copy is dropped regardless of SSD residency (not
+			// counted in dropped, which reports SSD-resident blocks).
+			s.tierInvalidate(key)
 			// A fetch or write in flight for this key would re-install data
 			// from before the invalidation: mark it stale so its owner skips
 			// the install, and detach it so later misses fetch fresh.

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/block"
+	"repro/internal/tier"
+)
+
+// TierStats returns the RAM tier's own counters; ok is false when the
+// tier is disabled (Options.RAMTierBytes == 0).
+func (s *Store) TierStats() (tier.Stats, bool) {
+	if s.tier == nil {
+		return tier.Stats{}, false
+	}
+	return s.tier.Stats(), true
+}
+
+// TierAdvice returns the tier advisor's latest recommendation: the last
+// epoch boundary's analysis (VariantD), or a fresh analysis over the
+// continuous sieve's precisely-tracked miss counts (VariantC — an
+// approximation, since the MCT tracks only the near-threshold top of the
+// miss distribution). Nil when the tier is disabled or no counts exist
+// yet.
+func (s *Store) TierAdvice() *tier.Advice {
+	if s.tier == nil {
+		return nil
+	}
+	if a := s.tierAdvice.Load(); a != nil {
+		return a
+	}
+	if s.opts.Variant != VariantC {
+		return nil
+	}
+	var counts []int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.sieveC != nil {
+			counts = append(counts, sh.sieveC.TrackedCounts()...)
+		}
+		sh.mu.Unlock()
+	}
+	if len(counts) == 0 {
+		return nil
+	}
+	a := s.tierAdvisor().Analyze(counts, s.opts.SieveC.Window.Seconds(), s.tier.CapacityBytes())
+	return &a
+}
+
+// tierAdvisor builds the advisor over the store's configured SSD
+// capacity and tier bounds.
+func (s *Store) tierAdvisor() *tier.Advisor {
+	return &tier.Advisor{
+		SSDBytes: s.opts.CacheBytes,
+		MinBytes: s.opts.TierMinBytes,
+		MaxBytes: s.opts.TierMaxBytes,
+	}
+}
+
+// tierEpochAdvice runs at each committed VariantD epoch boundary, before
+// the logs reset (stage 5 clears the counts it replays): the epoch's
+// access-count distribution goes through the drive-cost model, the
+// advice is published for /statusz, and — behind Options.TierAutotune —
+// the clamped recommendation is applied. This is the only place autotune
+// resizes, so tier capacity moves exactly at epoch boundaries. A count
+// read failure costs only this epoch's advice; the rotation is already
+// committed.
+func (s *Store) tierEpochAdvice() {
+	if s.tier == nil || s.logger == nil {
+		return
+	}
+	var counts []int64
+	if err := s.logger.Counts(func(_ block.Key, c int64) { counts = append(counts, c) }); err != nil {
+		return
+	}
+	adv := s.tierAdvisor()
+	a := adv.Analyze(counts, s.opts.Epoch.Seconds(), s.tier.CapacityBytes())
+	s.tierAdvice.Store(&a)
+	if s.opts.TierAutotune {
+		if target := adv.Clamp(a.RecommendedBytes); target != s.tier.CapacityBytes() {
+			s.tier.Resize(target)
+		}
+	}
+}

@@ -1,0 +1,540 @@
+package core
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/sieve"
+)
+
+// openTierC returns a VariantC store with an 8-block RAM tier above a
+// 64-block SSD cache (quickSieve admits on the 3rd miss; the default
+// promotion filter promotes on the 2nd SSD-tier hit).
+func openTierC(t *testing.T, clk *fakeClock) *Store {
+	t.Helper()
+	s, err := Open(testBackend(), Options{
+		CacheBytes:   64 * block.Size,
+		RAMTierBytes: 8 * block.Size,
+		SieveC:       quickSieve(),
+		Now:          clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestTierOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{RAMTierBytes: -block.Size},
+		{RAMTierBytes: 100},                                 // not block-aligned
+		{RAMTierBytes: block.Size, Shards: 4},               // below one block per shard
+		{RAMTierBytes: 8 * block.Size, TierPromoteHits: -1}, // negative need
+		{RAMTierBytes: 8 * block.Size, TierMinBytes: 16 * block.Size, TierMaxBytes: 4 * block.Size},
+		{RAMTierBytes: 64 * block.Size, TierMaxBytes: 8 * block.Size}, // initial size above max
+		{TierAutotune: true}, // autotune without a tier
+		{RAMTierBytes: 8 * block.Size, TierAutotune: true}, // autotune without VariantD
+	}
+	for i, o := range bad {
+		o.CacheBytes = 64 * block.Size
+		if _, err := Open(testBackend(), o); err == nil {
+			t.Errorf("case %d: Open accepted %+v", i, o)
+		}
+	}
+	// RAMTierBytes larger than the SSD cache is pointless but legal only
+	// if max bounds allow; with defaults TierMaxBytes caps at CacheBytes,
+	// so an oversized tier is rejected.
+	if _, err := Open(testBackend(), Options{
+		CacheBytes: 8 * block.Size, SieveC: quickSieve(), RAMTierBytes: 16 * block.Size,
+	}); err == nil {
+		t.Error("tier larger than the SSD cache accepted under default bounds")
+	}
+}
+
+// TestTierPromotionAndServes drives the full promotion pipeline: sieve
+// admission into the SSD tier, two SSD-tier read hits through the
+// promotion filter, then RAM-tier service with correct data and the
+// tier's counters folded into Stats.
+func TestTierPromotionAndServes(t *testing.T) {
+	clk := newFakeClock()
+	s := openTierC(t, clk)
+	seed := bytes.Repeat([]byte{0xC4}, block.Size)
+	if err := s.WriteAt(0, 0, seed, 0); err != nil {
+		t.Fatal(err)
+	}
+	admit(t, s, clk, 0)
+	buf := make([]byte, block.Size)
+	// Two SSD hits arm and fire the promotion filter (need = 2).
+	for i := 0; i < 2; i++ {
+		if err := s.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, ok := s.TierStats()
+	if !ok {
+		t.Fatal("TierStats reported no tier")
+	}
+	if ts.Promotions != 1 || ts.CachedBlocks != 1 {
+		t.Fatalf("after 2 SSD hits: %+v", ts)
+	}
+	// The next read is a RAM-tier hit: correct data, tier counter moves,
+	// and the read still counts as a cache hit in the folded Stats.
+	pre := s.Stats()
+	if err := s.ReadAt(0, 0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, seed) {
+		t.Fatal("tier served wrong data")
+	}
+	post := s.Stats()
+	if post.TierHits != pre.TierHits+1 {
+		t.Fatalf("TierHits %d → %d, want +1", pre.TierHits, post.TierHits)
+	}
+	if post.Reads != pre.Reads+1 || post.ReadHits != pre.ReadHits+1 {
+		t.Fatalf("tier hit not folded into Reads/ReadHits: %+v → %+v", pre, post)
+	}
+	if post.CacheBytesServed != pre.CacheBytesServed+block.Size {
+		t.Fatal("tier hit not folded into CacheBytesServed")
+	}
+	// CachedBlocks stays SSD-only: the tier holds a copy, not new residency.
+	if post.CachedBlocks != pre.CachedBlocks {
+		t.Fatalf("CachedBlocks moved on a tier promotion: %d → %d", pre.CachedBlocks, post.CachedBlocks)
+	}
+	if post.TierCachedBlocks != 1 || post.TierCapacityBlocks != 8 {
+		t.Fatalf("tier gauges: %+v", post)
+	}
+}
+
+// TestTierWriteInvalidation pins coherence: a write to a RAM-tier-resident
+// block drops the tier copy, so reads never see stale data.
+func TestTierWriteInvalidation(t *testing.T) {
+	clk := newFakeClock()
+	s := openTierC(t, clk)
+	admit(t, s, clk, 0)
+	buf := make([]byte, block.Size)
+	for i := 0; i < 3; i++ { // promote + one tier hit
+		if err := s.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, _ := s.TierStats()
+	if ts.CachedBlocks != 1 {
+		t.Fatalf("block not tier-resident: %+v", ts)
+	}
+	newData := bytes.Repeat([]byte{0x77}, block.Size)
+	if err := s.WriteAt(0, 0, newData, 0); err != nil {
+		t.Fatal(err)
+	}
+	ts, _ = s.TierStats()
+	if ts.CachedBlocks != 0 || ts.Invalidations != 1 {
+		t.Fatalf("write did not invalidate the tier copy: %+v", ts)
+	}
+	if err := s.ReadAt(0, 0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, newData) {
+		t.Fatal("read after write returned stale data")
+	}
+	if st := s.Stats(); st.TierInvalidations != 1 {
+		t.Fatalf("TierInvalidations not folded: %+v", st)
+	}
+}
+
+// TestTierInvalidateAPI extends coherence to the explicit Invalidate path.
+func TestTierInvalidateAPI(t *testing.T) {
+	clk := newFakeClock()
+	s := openTierC(t, clk)
+	admit(t, s, clk, 0)
+	buf := make([]byte, block.Size)
+	for i := 0; i < 2; i++ {
+		if err := s.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ts, _ := s.TierStats(); ts.CachedBlocks != 1 {
+		t.Fatalf("block not tier-resident: %+v", ts)
+	}
+	if _, err := s.Invalidate(0, 0, 0, block.Size); err != nil {
+		t.Fatal(err)
+	}
+	if ts, _ := s.TierStats(); ts.CachedBlocks != 0 {
+		t.Fatalf("Invalidate left a tier copy: %+v", ts)
+	}
+}
+
+// TestTierReadPinnedZeroCopy: once promoted, ReadPinned serves the block
+// as a RAM-tier view — no shard frame pin — and the PinnedFrames gauge
+// tracks the lease until Release.
+func TestTierReadPinnedZeroCopy(t *testing.T) {
+	clk := newFakeClock()
+	s := openTierC(t, clk)
+	seed := bytes.Repeat([]byte{0x3E}, block.Size)
+	if err := s.WriteAt(0, 0, seed, 0); err != nil {
+		t.Fatal(err)
+	}
+	admit(t, s, clk, 0)
+	admit(t, s, clk, block.Size) // second block: SSD-resident, not promoted
+	buf := make([]byte, block.Size)
+	for i := 0; i < 2; i++ { // promote block 0 only
+		if err := s.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre, _ := s.TierStats()
+	pr := s.ReadPinned(0, 0, 2*block.Size, 0)
+	if pr == nil || pr.Blocks() != 2 {
+		t.Fatalf("ReadPinned = %v, want 2-block run", pr)
+	}
+	if !bytes.Equal(pr.Views()[0], seed) {
+		t.Fatal("tier view has wrong data")
+	}
+	ts, _ := s.TierStats()
+	if ts.Pinned != pre.Pinned+1 {
+		t.Fatalf("tier Pinned %d → %d, want +1 (block 0 from RAM)", pre.Pinned, ts.Pinned)
+	}
+	st := s.Stats()
+	if st.PinnedFrames != 2 { // one tier frame + one shard frame
+		t.Fatalf("PinnedFrames = %d while 2 blocks pinned", st.PinnedFrames)
+	}
+	// A write to the pinned tier block dooms the tier frame; the view must
+	// survive until Release.
+	if err := s.WriteAt(0, 0, bytes.Repeat([]byte{9}, block.Size), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pr.Views()[0], seed) {
+		t.Fatal("pinned tier view mutated by a concurrent write")
+	}
+	pr.Release()
+	if st := s.Stats(); st.PinnedFrames != 0 {
+		t.Fatalf("PinnedFrames = %d after Release", st.PinnedFrames)
+	}
+}
+
+// TestTierSnapshotLoadClears: LoadSnapshot replaces the SSD tier
+// wholesale, so the RAM tier must drop all its (now unverifiable) copies.
+func TestTierSnapshotLoadClears(t *testing.T) {
+	clk := newFakeClock()
+	s := openTierC(t, clk)
+	admit(t, s, clk, 0)
+	buf := make([]byte, block.Size)
+	for i := 0; i < 2; i++ {
+		if err := s.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ts, _ := s.TierStats(); ts.CachedBlocks != 1 {
+		t.Fatalf("block not tier-resident: %+v", ts)
+	}
+	var snap bytes.Buffer
+	if err := s.SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if ts, _ := s.TierStats(); ts.CachedBlocks != 0 {
+		t.Fatalf("LoadSnapshot left tier copies: %+v", ts)
+	}
+	// The store still serves correct data afterwards.
+	if err := s.ReadAt(0, 0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTierDisabledStatsSilent: with RAMTierBytes = 0 the tier surface is
+// inert — no TierStats, no advice, no tier fields moving in Stats.
+func TestTierDisabledStatsSilent(t *testing.T) {
+	clk := newFakeClock()
+	s := openC(t, clk)
+	if _, ok := s.TierStats(); ok {
+		t.Fatal("TierStats reported a tier on a tierless store")
+	}
+	if a := s.TierAdvice(); a != nil {
+		t.Fatal("TierAdvice on a tierless store")
+	}
+	admit(t, s, clk, 0)
+	buf := make([]byte, block.Size)
+	for i := 0; i < 4; i++ {
+		if err := s.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.TierHits != 0 || st.TierPromotions != 0 || st.TierCapacityBlocks != 0 {
+		t.Fatalf("tier counters moved on a tierless store: %+v", st)
+	}
+}
+
+// TestTierAdviceVariantC: the continuous variant serves advisory analysis
+// from the sieve's precisely-tracked miss counts on demand.
+func TestTierAdviceVariantC(t *testing.T) {
+	clk := newFakeClock()
+	s, err := Open(testBackend(), Options{
+		CacheBytes:   64 * block.Size,
+		RAMTierBytes: 8 * block.Size,
+		// T2 = 2 so a promoted block stays precisely tracked in the MCT
+		// for one more miss — the advisor's count source.
+		SieveC: sieve.CConfig{IMCTSize: 1 << 16, T1: 2, T2: 2, Window: time.Hour, Subwindows: 4},
+		Now:    clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	buf := make([]byte, block.Size)
+	// Two misses pass T1=2 and promote the block into the MCT, where its
+	// precise count (1) sits below T2=2 — tracked but not yet admitted.
+	for i := 0; i < 2; i++ {
+		clk.Advance(time.Second)
+		if err := s.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := s.TierAdvice()
+	if a == nil {
+		t.Fatal("no VariantC advice despite tracked MCT counts")
+	}
+	if a.TrackedKeys == 0 || len(a.Candidates) == 0 {
+		t.Fatalf("empty advice: %+v", a)
+	}
+	if a.CurrentBytes != 8*block.Size {
+		t.Fatalf("CurrentBytes = %d, want %d", a.CurrentBytes, 8*block.Size)
+	}
+}
+
+// TestTierAutotuneEpochBoundary: VariantD + TierAutotune resizes the tier
+// only when an epoch commits, to the advisor's clamped recommendation.
+func TestTierAutotuneEpochBoundary(t *testing.T) {
+	clk := newFakeClock()
+	s, err := Open(testBackend(), Options{
+		CacheBytes:   64 * block.Size,
+		Variant:      VariantD,
+		DThreshold:   3,
+		Epoch:        time.Hour,
+		Now:          clk.Now,
+		SpillDir:     t.TempDir(),
+		RAMTierBytes: 8 * block.Size,
+		TierAutotune: true,
+		TierMinBytes: 2 * block.Size,
+		TierMaxBytes: 16 * block.Size,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	buf := make([]byte, block.Size)
+	// A flat, sparse access pattern: the advisor will find RAM buys
+	// nothing and recommend the minimum.
+	for i := uint64(0); i < 8; i++ {
+		if err := s.ReadAt(0, 0, buf, i*block.Size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mid-epoch: no advice published, capacity unchanged.
+	if a := s.TierAdvice(); a != nil {
+		t.Fatalf("VariantD advice before any epoch boundary: %+v", a)
+	}
+	if ts, _ := s.TierStats(); ts.CapacityBlocks != 8 || ts.Resizes != 0 {
+		t.Fatalf("tier resized mid-epoch: %+v", ts)
+	}
+	// Cross the boundary; the next op commits the rotation.
+	clk.Advance(61 * time.Minute)
+	if err := s.ReadAt(0, 0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	a := s.TierAdvice()
+	if a == nil {
+		t.Fatal("no advice after epoch boundary")
+	}
+	if a.EpochSeconds != 3600 {
+		t.Fatalf("EpochSeconds = %v", a.EpochSeconds)
+	}
+	ts, _ := s.TierStats()
+	// Clamped into [2,16] blocks and actually applied (flat counts → min).
+	if ts.CapacityBlocks != 2 || ts.Resizes != 1 {
+		t.Fatalf("autotune result: %+v (advice %+v)", ts, a)
+	}
+	// Stats surfaces the resize.
+	if st := s.Stats(); st.TierResizes != 1 {
+		t.Fatalf("TierResizes not folded: %+v", st)
+	}
+}
+
+// TestFlushWindowInjectedSleep (satellite: determinism audit): the
+// group-commit window waits through Options.Sleep, so tests with an
+// injected sleep observe the exact window with zero real-time delay.
+func TestFlushWindowInjectedSleep(t *testing.T) {
+	clk := newFakeClock()
+	var slept atomic.Int64
+	s, err := Open(testBackend(), Options{
+		CacheBytes:        64 * block.Size,
+		SieveC:            quickSieve(),
+		WriteBack:         true,
+		GroupCommitWindow: 25 * time.Millisecond,
+		Now:               clk.Now,
+		Sleep: func(d time.Duration) {
+			slept.Add(int64(d))
+			clk.Advance(d) // time passes only on the injected clock
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	admit(t, s, clk, 0)
+	if err := s.WriteAt(0, 0, bytes.Repeat([]byte{0xF0}, block.Size), 0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Duration(slept.Load()); got != 25*time.Millisecond {
+		t.Fatalf("injected sleep saw %v, want exactly the 25ms window", got)
+	}
+	// The real clock barely moved: the wait went through the seam.
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Fatalf("Flush blocked on real time for %v", wall)
+	}
+	if st := s.Stats(); st.DirtyBlocks != 0 || st.GroupCommits != 1 {
+		t.Fatalf("flush result: %+v", st)
+	}
+}
+
+// TestCachedBlocksNoPinDoubleCount (satellite: stats audit): evicting a
+// pinned block parks its frame until Release; CachedBlocks (= tag
+// residency) must not count the parked frame, and PinnedFrames reports it.
+func TestCachedBlocksNoPinDoubleCount(t *testing.T) {
+	clk := newFakeClock()
+	be := testBackend()
+	s, err := Open(be, Options{
+		CacheBytes: 2 * block.Size, // tiny: two admissions evict the first
+		SieveC:     quickSieve(),
+		Now:        clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	admit(t, s, clk, 0)
+	pr := s.ReadPinned(0, 0, block.Size, 0)
+	if pr == nil {
+		t.Fatal("ReadPinned missed an admitted block")
+	}
+	if st := s.Stats(); st.CachedBlocks != 1 || st.PinnedFrames != 1 {
+		t.Fatalf("pinned resident block: %+v", st)
+	}
+	// Evict block 0 by admitting two more into the 2-block cache. Its
+	// frame is pin-parked, not freed.
+	admit(t, s, clk, block.Size)
+	admit(t, s, clk, 2*block.Size)
+	st := s.Stats()
+	if s.Contains(0, 0, 0) {
+		t.Fatal("pinned victim still tag-resident")
+	}
+	if st.CachedBlocks != 2 {
+		t.Fatalf("CachedBlocks = %d counts a pin-parked frame", st.CachedBlocks)
+	}
+	if st.PinnedFrames != 1 {
+		t.Fatalf("PinnedFrames = %d with one parked pin", st.PinnedFrames)
+	}
+	pr.Release()
+	if st := s.Stats(); st.PinnedFrames != 0 {
+		t.Fatalf("PinnedFrames = %d after Release", st.PinnedFrames)
+	}
+}
+
+// TestReadPinnedAcrossDegradedFlip (satellite: pins × degraded bypass):
+// views pinned before the store degrades stay valid and release cleanly;
+// new ReadPinned calls bypass while degraded.
+func TestReadPinnedAcrossDegradedFlip(t *testing.T) {
+	clk := newFakeClock()
+	var failing atomic.Bool
+	s := openFaultyCache(t, clk, &failing)
+	seed := bytes.Repeat([]byte{0xDA}, block.Size)
+	if err := s.WriteAt(0, 0, seed, 0); err != nil {
+		t.Fatal(err)
+	}
+	admit(t, s, clk, 0)
+	pr := s.ReadPinned(0, 0, block.Size, 0)
+	if pr == nil {
+		t.Fatal("ReadPinned missed before the flip")
+	}
+	// Trip degraded mode: three consecutive frame-install faults.
+	failing.Store(true)
+	admitAttempts(t, s, 3, 100)
+	if !s.Degraded() {
+		t.Fatal("store not degraded")
+	}
+	// The pre-flip pin still reads the sealed frame.
+	if !bytes.Equal(pr.Views()[0], seed) {
+		t.Fatal("pinned view corrupted by the degraded flip")
+	}
+	// New pinned reads refuse while degraded (the ReadAt fallback owns the
+	// bypass metering).
+	if p2 := s.ReadPinned(0, 0, block.Size, 0); p2 != nil {
+		t.Fatal("ReadPinned served while degraded")
+	}
+	pr.Release()
+	if st := s.Stats(); st.PinnedFrames != 0 {
+		t.Fatalf("PinnedFrames = %d after release", st.PinnedFrames)
+	}
+}
+
+// TestReadPinnedTierAcrossDegradedFlip is the RAM-tier edition: a pinned
+// tier view outlives the flip too.
+func TestReadPinnedTierAcrossDegradedFlip(t *testing.T) {
+	clk := newFakeClock()
+	var failing atomic.Bool
+	be := testBackend()
+	s, err := Open(be, Options{
+		CacheBytes:   64 * block.Size,
+		RAMTierBytes: 8 * block.Size,
+		SieveC:       quickSieve(),
+		Now:          clk.Now,
+		FrameFaultInjector: func(block.Key) error {
+			if failing.Load() {
+				return errCacheDev
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	seed := bytes.Repeat([]byte{0xBE}, block.Size)
+	if err := s.WriteAt(0, 0, seed, 0); err != nil {
+		t.Fatal(err)
+	}
+	admit(t, s, clk, 0)
+	buf := make([]byte, block.Size)
+	for i := 0; i < 2; i++ { // promote into the RAM tier
+		if err := s.ReadAt(0, 0, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr := s.ReadPinned(0, 0, block.Size, 0)
+	if pr == nil {
+		t.Fatal("ReadPinned missed the tier-resident block")
+	}
+	if ts, _ := s.TierStats(); ts.PinnedFrames != 1 {
+		t.Fatalf("tier PinnedFrames = %d", ts.PinnedFrames)
+	}
+	failing.Store(true)
+	admitAttempts(t, s, 3, 100)
+	if !s.Degraded() {
+		t.Fatal("store not degraded")
+	}
+	if !bytes.Equal(pr.Views()[0], seed) {
+		t.Fatal("pinned tier view corrupted by the degraded flip")
+	}
+	pr.Release()
+	if st := s.Stats(); st.PinnedFrames != 0 {
+		t.Fatalf("PinnedFrames = %d after release", st.PinnedFrames)
+	}
+}

@@ -1,0 +1,205 @@
+// The advisor turns the per-epoch access counts the SieveStore-D logger
+// already collects into tier-sizing recommendations against the paper's
+// drive-cost model: IOPS occupancy → devices needed (internal/ssd's
+// DeviceSpec), extended with a $/GiB RAM-vs-SSD axis per TierBase. The
+// paper's static cost-performance tables become a live control loop — the
+// epochs measure the hot-set IOPS distribution, the advisor sweeps
+// candidate RAM-tier sizes, and either /statusz surfaces the
+// recommendation or autotune applies it at the next epoch boundary.
+package tier
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/ssd"
+)
+
+// CostModel prices the two-tier appliance. The defaults reproduce the
+// paper's 2010-era parts (Intel X25-E, ~$10-15/GB SLC flash, commodity
+// 15k-RPM ensemble drives); they are knobs, not truths — TierBase's point
+// is that the optimum moves with the prices.
+type CostModel struct {
+	// RAMDollarsPerGiB prices the tier's DRAM (default 30).
+	RAMDollarsPerGiB float64
+	// SSDDevice is the SSD spec used for IOPS-occupancy sizing (default
+	// ssd.IntelX25E). Imbalance derates its throughput like ssd.Array.
+	SSDDevice ssd.DeviceSpec
+	// SSDDeviceBytes is one SSD's capacity (default 32 GiB, the paper's
+	// X25-E).
+	SSDDeviceBytes int64
+	// SSDDeviceDollars prices one SSD (default 400).
+	SSDDeviceDollars float64
+	// Imbalance derates per-device throughput for load skew across an
+	// array (default 1.1, matching ssd.Array).
+	Imbalance float64
+}
+
+func (m *CostModel) withDefaults() CostModel {
+	out := *m
+	if out.RAMDollarsPerGiB == 0 {
+		out.RAMDollarsPerGiB = 30
+	}
+	if out.SSDDevice.ReadIOPS == 0 {
+		out.SSDDevice = ssd.IntelX25E()
+	}
+	if out.SSDDeviceBytes == 0 {
+		out.SSDDeviceBytes = 32 << 30
+	}
+	if out.SSDDeviceDollars == 0 {
+		out.SSDDeviceDollars = 400
+	}
+	if out.Imbalance == 0 {
+		out.Imbalance = 1.1
+	}
+	return out
+}
+
+// Candidate is one evaluated RAM-tier size.
+type Candidate struct {
+	RAMBytes int64 `json:"ram_bytes"`
+	// RAMHitsPerSec is the access rate the RAM tier would absorb — the
+	// hottest RAMBytes/512 blocks' epoch counts over the epoch length.
+	RAMHitsPerSec float64 `json:"ram_hits_per_sec"`
+	// SSDIOPS is the access rate left for the SSD array.
+	SSDIOPS float64 `json:"ssd_iops"`
+	// SSDDevices is how many SSDs the array needs: the max of the
+	// capacity-driven and IOPS-occupancy-driven counts. RAM absorbing the
+	// top of the distribution is exactly what shrinks the second term.
+	SSDDevices int `json:"ssd_devices"`
+	// DollarCost = RAM $/GiB · size + SSDDevices · $/device.
+	DollarCost float64 `json:"dollar_cost"`
+}
+
+// Advice is one epoch's recommendation.
+type Advice struct {
+	// RecommendedBytes minimizes DollarCost over the candidate sweep
+	// (smallest size on ties — RAM that buys nothing is not bought).
+	RecommendedBytes int64 `json:"recommended_bytes"`
+	CurrentBytes     int64 `json:"current_bytes"`
+	// EpochSeconds is the measurement window the rates were derived from.
+	EpochSeconds float64     `json:"epoch_seconds"`
+	TrackedKeys  int         `json:"tracked_keys"`
+	Candidates   []Candidate `json:"candidates"`
+}
+
+// Advisor sweeps candidate RAM-tier sizes against an epoch's access-count
+// distribution. Stateless and deterministic: same counts, same advice.
+type Advisor struct {
+	Model CostModel
+	// SSDBytes is the SSD tier's configured capacity (core CacheBytes).
+	SSDBytes int64
+	// MinBytes/MaxBytes bound the candidate sizes (and autotune).
+	MinBytes int64
+	MaxBytes int64
+}
+
+// candidateSizes is the swept fraction-of-SSD ladder, in thousandths
+// (0%, 1%, 2%, 5%, 10%, 20% of the SSD tier).
+var candidateSizes = []int64{0, 10, 20, 50, 100, 200}
+
+// Analyze derives an Advice from one epoch's per-block access counts
+// (order-insensitive; counts is not retained) measured over epochSeconds,
+// with the tier currently sized at currentBytes.
+func (a *Advisor) Analyze(counts []int64, epochSeconds float64, currentBytes int64) Advice {
+	m := a.Model.withDefaults()
+	if epochSeconds <= 0 {
+		epochSeconds = 1
+	}
+	sorted := append([]int64(nil), counts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	// prefix[k] = accesses/sec absorbed by a tier holding the k hottest
+	// blocks.
+	prefix := make([]float64, len(sorted)+1)
+	for i, c := range sorted {
+		prefix[i+1] = prefix[i] + float64(c)
+	}
+	total := prefix[len(sorted)] / epochSeconds
+
+	seen := map[int64]bool{}
+	var sizes []int64
+	add := func(b int64) {
+		b -= b % block.Size
+		if b < 0 || b > a.MaxBytes && a.MaxBytes > 0 {
+			return
+		}
+		if a.MinBytes > 0 && b != 0 && b < a.MinBytes {
+			return
+		}
+		if !seen[b] {
+			seen[b] = true
+			sizes = append(sizes, b)
+		}
+	}
+	for _, th := range candidateSizes {
+		add(a.SSDBytes / 1000 * th)
+	}
+	add(currentBytes)
+	add(a.MinBytes)
+	add(a.MaxBytes)
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+
+	adv := Advice{
+		CurrentBytes: currentBytes,
+		EpochSeconds: epochSeconds,
+		TrackedKeys:  len(sorted),
+	}
+	capacityDevices := int(ceilDiv(a.SSDBytes, m.SSDDeviceBytes))
+	if capacityDevices < 1 {
+		capacityDevices = 1
+	}
+	best := -1
+	for _, ram := range sizes {
+		k := int(ram / block.Size)
+		if k > len(sorted) {
+			k = len(sorted)
+		}
+		ramHz := prefix[k] / epochSeconds
+		ssdHz := total - ramHz
+		// One device serves ReadIOPS/Imbalance 4 KiB ops/s at full
+		// occupancy; block accesses here are 512 B, conservatively charged
+		// as one device op each (the paper's occupancy accounting).
+		perDevice := m.SSDDevice.ReadIOPS / m.Imbalance
+		iopsDevices := int(math.Ceil(ssdHz / perDevice))
+		devices := capacityDevices
+		if iopsDevices > devices {
+			devices = iopsDevices
+		}
+		cand := Candidate{
+			RAMBytes:      ram,
+			RAMHitsPerSec: ramHz,
+			SSDIOPS:       ssdHz,
+			SSDDevices:    devices,
+			DollarCost: float64(ram)/float64(1<<30)*m.RAMDollarsPerGiB +
+				float64(devices)*m.SSDDeviceDollars,
+		}
+		adv.Candidates = append(adv.Candidates, cand)
+		if best < 0 || cand.DollarCost < adv.Candidates[best].DollarCost {
+			best = len(adv.Candidates) - 1
+		}
+	}
+	if best >= 0 {
+		adv.RecommendedBytes = adv.Candidates[best].RAMBytes
+	}
+	return adv
+}
+
+// Clamp bounds a tier size to [MinBytes, MaxBytes] (either 0 = unbounded
+// on that side) and to whole blocks.
+func (a *Advisor) Clamp(bytes int64) int64 {
+	if a.MinBytes > 0 && bytes < a.MinBytes {
+		bytes = a.MinBytes
+	}
+	if a.MaxBytes > 0 && bytes > a.MaxBytes {
+		bytes = a.MaxBytes
+	}
+	return bytes - bytes%block.Size
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 1
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,478 @@
+// Package tier is the in-process RAM tier above the SSD cache: a small,
+// highly-selective hot store holding copies of blocks that keep hitting
+// in the SSD tier. The same selectivity argument the paper makes for the
+// SSD applies one level up — a RAM tier a fraction of the SSD's size can
+// absorb the hottest blocks and skip the SSD frame path (and its shard
+// mutex) entirely.
+//
+// Admission is sieved: a block is promoted only after PromoteHits repeated
+// SSD-tier hits observed by a small per-shard PromoFilter (the promotion
+// sieve). Eviction is SIEVE (any cache.Policy, but SIEVE is the default
+// and the point: lookups touch only an atomic per-entry visited bit, so
+// the hot read path needs no exclusive lock at all). Demotion is a drop —
+// the SSD copy is authoritative and tier frames are never dirty, so no
+// data is ever lost.
+//
+// Concurrency: the cache is split into power-of-two key-hash shards, each
+// guarded by a sync.RWMutex. Lookup and Pin take only the read lock plus
+// one atomic visited store; Insert, Invalidate, Resize, and the release
+// of a doomed pin take the write lock. The caller (core.Store) performs
+// Insert and Invalidate while holding its own store-shard mutex, which
+// linearizes tier membership changes with SSD frame updates; the tier
+// lock is strictly a leaf below the store-shard lock.
+package tier
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/cache"
+)
+
+// DefaultPromoteHits is how many observed SSD-tier hits (within the
+// promotion filter's memory) a block needs before it is promoted.
+const DefaultPromoteHits = 2
+
+// defaultFilterSlots sizes each PromoFilter's direct-mapped slot table.
+const defaultFilterSlots = 1024
+
+// Config configures a Cache.
+type Config struct {
+	// Bytes is the tier capacity; must be at least Shards blocks and is
+	// rounded down to a whole number of blocks.
+	Bytes int64
+	// Shards is the shard count (power of two; 0 means 1). Matching the
+	// store's shard count keeps tier contention no worse than the SSD
+	// tier's.
+	Shards int
+	// Policy names the eviction engine (cache.PolicyNames; default
+	// "sieve").
+	Policy string
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Shards == 0 {
+		out.Shards = 1
+	}
+	if out.Shards < 1 || out.Shards&(out.Shards-1) != 0 {
+		return out, fmt.Errorf("tier: Shards %d must be a power of two", out.Shards)
+	}
+	if out.Policy == "" {
+		out.Policy = "sieve"
+	}
+	if out.Bytes < int64(out.Shards)*block.Size {
+		return out, fmt.Errorf("tier: Bytes %d below one block per shard (%d shards)", out.Bytes, out.Shards)
+	}
+	return out, nil
+}
+
+// Stats is a snapshot of the tier's counters. Hits/Pinned/Promotions/
+// Demotions/Invalidations are cumulative; CachedBlocks, CapacityBlocks,
+// and PinnedFrames are gauges.
+type Stats struct {
+	Hits           int64 // blocks served (Lookup or Pin)
+	Pinned         int64 // of Hits, served zero-copy via Pin
+	Misses         int64 // lookups that fell through to the SSD tier
+	Promotions     int64 // blocks copied up from the SSD tier
+	Demotions      int64 // blocks evicted back to SSD-resident-only
+	Invalidations  int64 // blocks dropped because their data changed below
+	Resizes        int64 // capacity changes applied (autotune or manual)
+	CachedBlocks   int64
+	CapacityBlocks int64
+	PinnedFrames   int64 // tier frames currently lent out zero-copy
+}
+
+// entry is one resident tier block.
+type entry struct {
+	data []byte
+	// visited is the SIEVE reference bit, settable under the shard's
+	// *read* lock (hence atomic); the eviction sweep consumes it under
+	// the write lock by replaying it into the policy as a touch.
+	visited atomic.Bool
+	// refs counts zero-copy pins. Incremented under the read lock
+	// (concurrent pinners race, hence atomic); decremented under the
+	// write lock by Pin.Release.
+	refs atomic.Int32
+	// doomed marks an entry evicted/invalidated while pinned: its data
+	// is recycled by the last Release instead. Guarded by the write lock.
+	doomed bool
+}
+
+// shard is one lock stripe of the tier.
+type shard struct {
+	mu        sync.RWMutex
+	entries   map[block.Key]*entry
+	tags      cache.Policy // eviction order; always in sync with entries
+	capBlocks int
+	free      [][]byte
+}
+
+// Cache is the RAM tier. Safe for concurrent use.
+type Cache struct {
+	cfg    Config
+	shards []*shard
+	mask   uint64
+
+	hits          atomic.Int64
+	pinned        atomic.Int64
+	misses        atomic.Int64
+	promotions    atomic.Int64
+	demotions     atomic.Int64
+	invalidations atomic.Int64
+	resizes       atomic.Int64
+}
+
+// New returns a ready Cache.
+func New(cfg Config) (*Cache, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	caps := cache.PartitionCapacity(int(c.Bytes/block.Size), c.Shards)
+	t := &Cache{cfg: c, mask: uint64(c.Shards - 1)}
+	t.shards = make([]*shard, c.Shards)
+	for i := range t.shards {
+		tags, err := cache.NewPolicy(c.Policy, caps[i])
+		if err != nil {
+			return nil, err
+		}
+		t.shards[i] = &shard{
+			entries:   make(map[block.Key]*entry),
+			tags:      tags,
+			capBlocks: caps[i],
+		}
+	}
+	return t, nil
+}
+
+// shardOf maps a key to its stripe with the same avalanche mix the store
+// shards use — different shard counts keep the distributions independent.
+func (t *Cache) shardOf(key block.Key) *shard {
+	if t.mask == 0 {
+		return t.shards[0]
+	}
+	x := uint64(key)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return t.shards[x&t.mask]
+}
+
+// Lookup copies the block into dst if resident, reporting whether it hit.
+// Read-lock only: the SIEVE reference bit is an atomic store, so parallel
+// readers never serialize on the tier.
+func (t *Cache) Lookup(key block.Key, dst []byte) bool {
+	sh := t.shardOf(key)
+	sh.mu.RLock()
+	e := sh.entries[key]
+	if e == nil {
+		sh.mu.RUnlock()
+		t.misses.Add(1)
+		return false
+	}
+	copy(dst, e.data)
+	e.visited.Store(true)
+	sh.mu.RUnlock()
+	t.hits.Add(1)
+	return true
+}
+
+// Contains reports residency without touching the reference bit.
+func (t *Cache) Contains(key block.Key) bool {
+	sh := t.shardOf(key)
+	sh.mu.RLock()
+	_, ok := sh.entries[key]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Pin is a zero-copy view of one tier frame, alive until Release.
+type Pin struct {
+	sh *shard
+	e  *entry
+}
+
+// Pin returns the block's frame as an immutable zero-copy view, or ok
+// false on a miss. The view stays valid (the frame is never mutated —
+// invalidation dooms it instead) until Release is called exactly once.
+func (t *Cache) Pin(key block.Key) (view []byte, p Pin, ok bool) {
+	sh := t.shardOf(key)
+	sh.mu.RLock()
+	e := sh.entries[key]
+	if e == nil {
+		sh.mu.RUnlock()
+		t.misses.Add(1)
+		return nil, Pin{}, false
+	}
+	e.refs.Add(1)
+	e.visited.Store(true)
+	view = e.data
+	sh.mu.RUnlock()
+	t.hits.Add(1)
+	t.pinned.Add(1)
+	return view, Pin{sh: sh, e: e}, true
+}
+
+// Release drops the pin; the last release of a doomed frame recycles it.
+func (p Pin) Release() {
+	if p.e == nil {
+		return
+	}
+	p.sh.mu.Lock()
+	if p.e.refs.Add(-1) == 0 && p.e.doomed {
+		p.sh.free = append(p.sh.free, p.e.data)
+		p.e.data = nil
+	}
+	p.sh.mu.Unlock()
+}
+
+// Insert copies data into the tier, evicting per policy if full. The
+// caller decides admission (see PromoFilter); Insert on a resident key
+// just refreshes its reference bit. Counted as a promotion.
+func (t *Cache) Insert(key block.Key, data []byte) {
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	if e := sh.entries[key]; e != nil {
+		e.visited.Store(true)
+		sh.mu.Unlock()
+		return
+	}
+	for len(sh.entries) >= sh.capBlocks {
+		t.evictOneLocked(sh)
+	}
+	sh.tags.Insert(key)
+	e := &entry{data: sh.alloc()}
+	copy(e.data, data)
+	sh.entries[key] = e
+	sh.mu.Unlock()
+	t.promotions.Add(1)
+}
+
+// evictOneLocked demotes one block chosen by the policy, replaying each
+// candidate's atomic visited bit into the policy as a touch first
+// (duplicate-Insert-is-Touch): SIEVE's second chance works even though
+// hits never took the write lock. Terminates — each key's bit is consumed
+// at most once per call.
+func (t *Cache) evictOneLocked(sh *shard) {
+	for {
+		v, ok := sh.tags.Victim()
+		if !ok {
+			return
+		}
+		e := sh.entries[v]
+		if e != nil && e.visited.Swap(false) {
+			sh.tags.Insert(v) // touch: grant the second chance
+			continue
+		}
+		sh.tags.Remove(v)
+		if e != nil {
+			sh.dropEntryLocked(v, e)
+		}
+		t.demotions.Add(1)
+		return
+	}
+}
+
+// dropEntryLocked removes an entry, recycling its frame unless pinned (a
+// pinned frame is doomed and recycled by the last Release).
+func (sh *shard) dropEntryLocked(key block.Key, e *entry) {
+	delete(sh.entries, key)
+	if e.refs.Load() > 0 {
+		e.doomed = true
+		return
+	}
+	sh.free = append(sh.free, e.data)
+	e.data = nil
+}
+
+func (sh *shard) alloc() []byte {
+	if n := len(sh.free); n > 0 {
+		f := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		return f
+	}
+	return make([]byte, block.Size)
+}
+
+// Invalidate drops the block if resident (its data changed in the tier
+// below), reporting whether it was. The resident check is read-locked so
+// the write path pays no exclusive tier lock for blocks the tier does not
+// hold — the common case.
+func (t *Cache) Invalidate(key block.Key) bool {
+	sh := t.shardOf(key)
+	sh.mu.RLock()
+	_, ok := sh.entries[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	sh.mu.Lock()
+	e := sh.entries[key]
+	if e == nil { // raced another invalidation or an eviction
+		sh.mu.Unlock()
+		return false
+	}
+	sh.tags.Remove(key)
+	sh.dropEntryLocked(key, e)
+	sh.mu.Unlock()
+	t.invalidations.Add(1)
+	return true
+}
+
+// Clear drops every entry (snapshot load replaced the tier below
+// wholesale). Counted as invalidations.
+func (t *Cache) Clear() {
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		n := len(sh.entries)
+		keys := sh.tags.Keys()
+		for _, k := range keys {
+			sh.tags.Remove(k)
+		}
+		for k, e := range sh.entries {
+			sh.dropEntryLocked(k, e)
+		}
+		sh.mu.Unlock()
+		t.invalidations.Add(int64(n))
+	}
+}
+
+// Resize changes the tier's capacity to totalBytes (clamped up to one
+// block per shard), demoting the policy's coldest blocks if shrinking.
+// Survivors keep their recency/visited state via the policy's lossless
+// Swap.
+func (t *Cache) Resize(totalBytes int64) error {
+	blocks := int(totalBytes / block.Size)
+	if blocks < len(t.shards) {
+		blocks = len(t.shards)
+	}
+	caps := cache.PartitionCapacity(blocks, len(t.shards))
+	changed := false
+	for i, sh := range t.shards {
+		sh.mu.Lock()
+		if sh.capBlocks == caps[i] {
+			sh.mu.Unlock()
+			continue
+		}
+		newTags, err := cache.NewPolicy(t.cfg.Policy, caps[i])
+		if err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		keys := sh.tags.Keys() // hottest-first per the Policy contract
+		kept := keys
+		if len(kept) > caps[i] {
+			kept = keys[:caps[i]]
+			for _, k := range keys[caps[i]:] {
+				if e := sh.entries[k]; e != nil {
+					sh.dropEntryLocked(k, e)
+				}
+				t.demotions.Add(1)
+			}
+		}
+		newTags.Swap(kept)
+		sh.tags = newTags
+		sh.capBlocks = caps[i]
+		// A shrink strands surplus free frames; let the GC take them.
+		sh.free = nil
+		changed = true
+		sh.mu.Unlock()
+	}
+	if changed {
+		t.resizes.Add(1)
+	}
+	return nil
+}
+
+// CapacityBytes returns the current tier capacity.
+func (t *Cache) CapacityBytes() int64 {
+	var n int64
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		n += int64(sh.capBlocks)
+		sh.mu.RUnlock()
+	}
+	return n * block.Size
+}
+
+// Stats snapshots the tier's counters. Gauges are read per shard under
+// the read lock; cross-shard sums are momentary.
+func (t *Cache) Stats() Stats {
+	st := Stats{
+		Hits:          t.hits.Load(),
+		Pinned:        t.pinned.Load(),
+		Misses:        t.misses.Load(),
+		Promotions:    t.promotions.Load(),
+		Demotions:     t.demotions.Load(),
+		Invalidations: t.invalidations.Load(),
+		Resizes:       t.resizes.Load(),
+	}
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		st.CachedBlocks += int64(len(sh.entries))
+		st.CapacityBlocks += int64(sh.capBlocks)
+		for _, e := range sh.entries {
+			if e.refs.Load() > 0 {
+				st.PinnedFrames++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// PromoFilter is the promotion sieve: a small direct-mapped table of
+// (key, hit count) slots. A block is promoted once its slot accumulates
+// Need hits; slot conflicts reset the count, which is the filter's decay —
+// only blocks hot enough to re-hit before being aliased out ever promote,
+// the same "mass of cold blocks costs nothing" argument the paper's IMCT
+// makes. Not safe for concurrent use: the owner (a core store shard)
+// calls Hit under its own lock, so the filter adds zero locking to the
+// SSD hit path.
+type PromoFilter struct {
+	slots []promoSlot
+	need  int32
+}
+
+type promoSlot struct {
+	key   block.Key
+	count int32
+	used  bool
+}
+
+// NewPromoFilter returns a filter requiring need hits (min 1) before
+// promotion; slots <= 0 selects the default table size.
+func NewPromoFilter(slots, need int) *PromoFilter {
+	if slots <= 0 {
+		slots = defaultFilterSlots
+	}
+	if need < 1 {
+		need = 1
+	}
+	return &PromoFilter{slots: make([]promoSlot, slots), need: int32(need)}
+}
+
+// Hit records one SSD-tier hit for key and reports whether the block has
+// now earned promotion (the slot resets so a re-promoted block must earn
+// it again).
+func (f *PromoFilter) Hit(key block.Key) bool {
+	x := uint64(key)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	s := &f.slots[x%uint64(len(f.slots))]
+	if !s.used || s.key != key {
+		s.key, s.count, s.used = key, 0, true
+	}
+	s.count++
+	if s.count < f.need {
+		return false
+	}
+	s.count = 0
+	return true
+}

@@ -1,0 +1,358 @@
+package tier
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return c
+}
+
+func blockData(b byte) []byte {
+	d := make([]byte, block.Size)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Bytes: 0},
+		{Bytes: block.Size, Shards: 3},
+		{Bytes: block.Size, Shards: 2}, // below one block per shard
+		{Bytes: 4 * block.Size, Policy: "no-such-policy"},
+	}
+	for _, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%+v): want error", c)
+		}
+	}
+	c := mustNew(t, Config{Bytes: 8 * block.Size, Shards: 4})
+	if got := c.CapacityBytes(); got != 8*block.Size {
+		t.Fatalf("CapacityBytes = %d, want %d", got, 8*block.Size)
+	}
+}
+
+func TestLookupInsertInvalidate(t *testing.T) {
+	c := mustNew(t, Config{Bytes: 8 * block.Size})
+	k := block.MakeKey(0, 0, 7)
+	dst := make([]byte, block.Size)
+	if c.Lookup(k, dst) {
+		t.Fatal("Lookup hit on empty tier")
+	}
+	c.Insert(k, blockData(0xAB))
+	if !c.Contains(k) {
+		t.Fatal("Contains false after Insert")
+	}
+	if !c.Lookup(k, dst) || !bytes.Equal(dst, blockData(0xAB)) {
+		t.Fatal("Lookup after Insert: miss or wrong data")
+	}
+	// Duplicate insert refreshes, does not double-count residency.
+	c.Insert(k, blockData(0xCD))
+	st := c.Stats()
+	if st.CachedBlocks != 1 || st.Promotions != 1 {
+		t.Fatalf("after duplicate insert: cached=%d promotions=%d", st.CachedBlocks, st.Promotions)
+	}
+	if !c.Invalidate(k) {
+		t.Fatal("Invalidate missed a resident block")
+	}
+	if c.Invalidate(k) {
+		t.Fatal("Invalidate hit after removal")
+	}
+	st = c.Stats()
+	if st.CachedBlocks != 0 || st.Invalidations != 1 {
+		t.Fatalf("after invalidate: cached=%d invalidations=%d", st.CachedBlocks, st.Invalidations)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+// TestSieveSecondChance pins the eviction contract: a block whose atomic
+// visited bit is set survives the sweep that would have demoted it (the
+// bit is replayed into the policy as a touch), and an untouched block is
+// demoted instead.
+func TestSieveSecondChance(t *testing.T) {
+	c := mustNew(t, Config{Bytes: 2 * block.Size})
+	hot := block.MakeKey(0, 0, 1)
+	cold := block.MakeKey(0, 0, 2)
+	c.Insert(hot, blockData(1))
+	c.Insert(cold, blockData(2))
+	// Touch only hot: its visited bit is set under the read lock.
+	dst := make([]byte, block.Size)
+	if !c.Lookup(hot, dst) {
+		t.Fatal("hot should be resident")
+	}
+	// Third insert must demote cold (hot's bit buys its second chance).
+	c.Insert(block.MakeKey(0, 0, 3), blockData(3))
+	if !c.Contains(hot) {
+		t.Fatal("visited block was demoted")
+	}
+	if c.Contains(cold) {
+		t.Fatal("unvisited block survived a full tier")
+	}
+	if st := c.Stats(); st.Demotions != 1 || st.CachedBlocks != 2 {
+		t.Fatalf("demotions=%d cached=%d, want 1/2", st.Demotions, st.CachedBlocks)
+	}
+}
+
+func TestPinZeroCopyAndDoom(t *testing.T) {
+	c := mustNew(t, Config{Bytes: 2 * block.Size})
+	k := block.MakeKey(0, 0, 9)
+	c.Insert(k, blockData(0x5A))
+	view, p, ok := c.Pin(k)
+	if !ok || !bytes.Equal(view, blockData(0x5A)) {
+		t.Fatal("Pin missed or returned wrong data")
+	}
+	if _, _, ok := c.Pin(block.MakeKey(0, 0, 10)); ok {
+		t.Fatal("Pin hit a non-resident block")
+	}
+	if st := c.Stats(); st.PinnedFrames != 1 || st.Pinned != 1 {
+		t.Fatalf("pinned gauge/counter = %d/%d, want 1/1", st.PinnedFrames, st.Pinned)
+	}
+	// Invalidate while pinned: the view must stay intact until Release.
+	if !c.Invalidate(k) {
+		t.Fatal("Invalidate missed the pinned block")
+	}
+	if !bytes.Equal(view, blockData(0x5A)) {
+		t.Fatal("pinned view mutated by invalidation")
+	}
+	p.Release()
+	if st := c.Stats(); st.PinnedFrames != 0 {
+		t.Fatalf("PinnedFrames = %d after release", st.PinnedFrames)
+	}
+	// The doomed frame was recycled, not leaked: a new insert reuses it.
+	c.Insert(k, blockData(0x11))
+	dst := make([]byte, block.Size)
+	if !c.Lookup(k, dst) || !bytes.Equal(dst, blockData(0x11)) {
+		t.Fatal("reinsert after doomed release failed")
+	}
+	// Releasing a zero Pin is a no-op.
+	Pin{}.Release()
+}
+
+func TestClear(t *testing.T) {
+	c := mustNew(t, Config{Bytes: 8 * block.Size, Shards: 2})
+	for i := 0; i < 6; i++ {
+		c.Insert(block.MakeKey(0, 0, uint64(i)), blockData(byte(i)))
+	}
+	c.Clear()
+	st := c.Stats()
+	if st.CachedBlocks != 0 || st.Invalidations != 6 {
+		t.Fatalf("after Clear: cached=%d invalidations=%d", st.CachedBlocks, st.Invalidations)
+	}
+	// The tier still works after a wholesale clear.
+	c.Insert(block.MakeKey(0, 0, 99), blockData(9))
+	if !c.Contains(block.MakeKey(0, 0, 99)) {
+		t.Fatal("insert after Clear failed")
+	}
+}
+
+func TestResize(t *testing.T) {
+	c := mustNew(t, Config{Bytes: 8 * block.Size})
+	for i := 0; i < 8; i++ {
+		c.Insert(block.MakeKey(0, 0, uint64(i)), blockData(byte(i)))
+	}
+	// Shrink to 4 blocks: the policy's coldest half demotes, survivors
+	// keep serving.
+	if err := c.Resize(4 * block.Size); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.CapacityBlocks != 4 || st.CachedBlocks != 4 || st.Demotions != 4 || st.Resizes != 1 {
+		t.Fatalf("after shrink: %+v", st)
+	}
+	dst := make([]byte, block.Size)
+	kept := 0
+	for i := 0; i < 8; i++ {
+		if c.Lookup(block.MakeKey(0, 0, uint64(i)), dst) {
+			if !bytes.Equal(dst, blockData(byte(i))) {
+				t.Fatalf("block %d data corrupted by resize", i)
+			}
+			kept++
+		}
+	}
+	if kept != 4 {
+		t.Fatalf("kept %d blocks after shrink, want 4", kept)
+	}
+	// Grow back: capacity rises, nothing is lost.
+	if err := c.Resize(16 * block.Size); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.CapacityBlocks != 16 || st.CachedBlocks != 4 {
+		t.Fatalf("after grow: %+v", st)
+	}
+	// A same-size resize is a no-op (no Resizes tick).
+	if err := c.Resize(16 * block.Size); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Resizes; got != 2 {
+		t.Fatalf("Resizes = %d, want 2", got)
+	}
+	// Resize below one block per shard clamps, never errors.
+	if err := c.Resize(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().CapacityBlocks; got != 1 {
+		t.Fatalf("clamped capacity = %d, want 1", got)
+	}
+}
+
+func TestResizeShrinkWhilePinned(t *testing.T) {
+	c := mustNew(t, Config{Bytes: 4 * block.Size})
+	keys := make([]block.Key, 4)
+	for i := range keys {
+		keys[i] = block.MakeKey(0, 0, uint64(i))
+		c.Insert(keys[i], blockData(byte(i)))
+	}
+	views := make([][]byte, 0, 4)
+	pins := make([]Pin, 0, 4)
+	for _, k := range keys {
+		v, p, ok := c.Pin(k)
+		if !ok {
+			t.Fatalf("pin %v missed", k)
+		}
+		views = append(views, v)
+		pins = append(pins, p)
+	}
+	if err := c.Resize(block.Size); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range views {
+		if !bytes.Equal(v, blockData(byte(i))) {
+			t.Fatalf("pinned view %d corrupted by shrink", i)
+		}
+		pins[i].Release()
+	}
+	if st := c.Stats(); st.PinnedFrames != 0 {
+		t.Fatalf("PinnedFrames = %d after releases", st.PinnedFrames)
+	}
+}
+
+func TestConcurrentLookupInsertInvalidate(t *testing.T) {
+	c := mustNew(t, Config{Bytes: 64 * block.Size, Shards: 4})
+	const span = 256
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			dst := make([]byte, block.Size)
+			x := seed*2654435761 + 1
+			for i := 0; i < 4000; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				k := block.MakeKey(0, 0, x%span)
+				switch x % 5 {
+				case 0:
+					c.Insert(k, blockData(byte(x)))
+				case 1:
+					c.Invalidate(k)
+				case 2:
+					if v, p, ok := c.Pin(k); ok {
+						_ = v[0]
+						p.Release()
+					}
+				default:
+					c.Lookup(k, dst)
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.CachedBlocks > st.CapacityBlocks {
+		t.Fatalf("residency %d exceeds capacity %d", st.CachedBlocks, st.CapacityBlocks)
+	}
+	if st.PinnedFrames != 0 {
+		t.Fatalf("PinnedFrames = %d after all releases", st.PinnedFrames)
+	}
+}
+
+func TestPromoFilter(t *testing.T) {
+	f := NewPromoFilter(16, 2)
+	k := block.MakeKey(0, 0, 1)
+	if f.Hit(k) {
+		t.Fatal("first hit promoted with need=2")
+	}
+	if !f.Hit(k) {
+		t.Fatal("second hit did not promote")
+	}
+	// The slot reset: the block must earn promotion again.
+	if f.Hit(k) {
+		t.Fatal("slot did not reset after promotion")
+	}
+	// A conflicting key steals the slot and resets the count (the
+	// filter's decay). Find a colliding key by brute force.
+	var other block.Key
+	for n := uint64(2); ; n++ {
+		cand := block.MakeKey(0, 0, n)
+		f2 := NewPromoFilter(16, 2)
+		f2.Hit(k)
+		f2.Hit(cand)
+		if !f2.Hit(k) { // k lost its progress → cand aliased its slot
+			other = cand
+			break
+		}
+		if n > 10000 {
+			t.Skip("no colliding key found in range")
+		}
+	}
+	f3 := NewPromoFilter(16, 2)
+	f3.Hit(k)
+	f3.Hit(other)
+	if f3.Hit(k) {
+		t.Fatal("aliased slot kept stale progress")
+	}
+	// Defaults: need<1 clamps to 1 (promote on first hit), slots<=0 uses
+	// the default table.
+	g := NewPromoFilter(0, 0)
+	if !g.Hit(k) {
+		t.Fatal("need=1 filter should promote on first hit")
+	}
+}
+
+func TestEvictionPinnedVictim(t *testing.T) {
+	// A pinned block chosen as victim is demoted from the tier (its key
+	// leaves) but its frame survives until Release.
+	c := mustNew(t, Config{Bytes: 1 * block.Size})
+	k := block.MakeKey(0, 0, 1)
+	c.Insert(k, blockData(7))
+	view, p, ok := c.Pin(k)
+	if !ok {
+		t.Fatal("pin missed")
+	}
+	c.Insert(block.MakeKey(0, 0, 2), blockData(8)) // evicts k (capacity 1)
+	if c.Contains(k) {
+		t.Fatal("victim still resident")
+	}
+	if !bytes.Equal(view, blockData(7)) {
+		t.Fatal("pinned victim's view corrupted")
+	}
+	p.Release()
+	dst := make([]byte, block.Size)
+	if !c.Lookup(block.MakeKey(0, 0, 2), dst) || !bytes.Equal(dst, blockData(8)) {
+		t.Fatal("replacement block wrong")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	// Smoke the zero-value formatting path used by logs.
+	var st Stats
+	if s := fmt.Sprintf("%+v", st); s == "" {
+		t.Fatal("empty stats formatting")
+	}
+}
