@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race test-chaos cover bench bench-smoke bench-hot bench-wire bench-tier experiments fuzz test-fuzz fmt vet lint clean
+.PHONY: all build test race test-chaos test-cluster cover bench bench-smoke bench-hot bench-wire bench-tier bench-cluster experiments fuzz test-fuzz fmt vet lint clean
 
 # Tier-1 flow: compile, static checks, unit tests, the race detector over
 # every package (the concurrent store/appliance paths must stay
-# race-clean), then a smoke pass over the concurrency benchmarks.
-all: build vet lint test race bench-smoke
+# race-clean), then the cluster suite and a smoke pass over the
+# concurrency benchmarks.
+all: build vet lint test race test-cluster bench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +25,13 @@ race:
 # and clean recovery out of every degraded mode.
 test-chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/core/
+
+# Replicated-cluster suite under the race detector, including the
+# multi-node chaos run (kill/restart mid-load over an N=3 R=2 ring:
+# zero lost acked writes, no stale reads past the version floor,
+# automatic re-replication back to full R).
+test-cluster:
+	$(GO) test -race -count=1 ./internal/cluster/
 
 # Deeper static analysis, skipped gracefully where the tools aren't
 # installed (this container has neither; no network installs). When
@@ -81,6 +89,14 @@ bench-wire:
 # absorbing the majority of read hits.
 bench-tier:
 	$(GO) run ./cmd/benchtier -out BENCH_tier.json
+
+# Cluster scale-out matrix: mixed Zipf read/write load against in-process
+# rings of 1/3/5 appliance nodes, healthy and with one node killed,
+# written as BENCH_cluster.json for CI trend lines. The degraded rows show
+# the failover tax: reads fall through to surviving replicas, writes to
+# the dead owner go through hinted handoff.
+bench-cluster:
+	$(GO) run ./cmd/benchcluster -out BENCH_cluster.json
 
 # Hit-path scaling sweep: pure cache-hit throughput at 1–8 GOMAXPROCS for
 # Shards=1 vs Shards=8. The headline number for the sharded-store work;

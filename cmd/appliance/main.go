@@ -28,10 +28,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/appliance"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/resilience"
 	"repro/internal/sieve"
@@ -78,6 +80,15 @@ func main() {
 		protocol    = flag.String("protocol", "v2", "max wire protocol version: v2 (tagged pipelined frames, negotiated down per client) or v1 (legacy-exact)")
 		groupCommit = flag.Duration("group-commit-window", 0, "coalesce write-back flush requests arriving within this window into one backend sweep (0: flush immediately)")
 		maxPipeline = flag.Int("max-pipeline", 0, "per-connection cap on in-flight pipelined v2 requests (0: default 32)")
+
+		clusterPeers       = flag.String("cluster-peers", "", "comma-separated appliance addresses: run as a replicated-cluster gateway over these nodes instead of a local store")
+		clusterReplicas    = flag.Int("cluster-replicas", 2, "gateway: replicas per block (R)")
+		clusterQuorum      = flag.Int("cluster-write-quorum", 1, "gateway: direct acks required per write (W, ≤ R)")
+		clusterWriteBack   = flag.Bool("cluster-writeback", false, "gateway: peers run write-back stores (track acked replicas, re-replicate after failures)")
+		clusterPlacement   = flag.Int("cluster-placement-blocks", 128, "gateway: consecutive blocks sharing a replica set (power of two)")
+		clusterHandoffMax  = flag.Int("cluster-handoff-max", 4096, "gateway: per-node hinted-handoff queue bound, in blocks")
+		clusterProbeEvery  = flag.Duration("cluster-probe-every", 250*time.Millisecond, "gateway: down-node probe / repair-sweep cadence")
+		clusterDialTimeout = flag.Duration("cluster-timeout", 2*time.Second, "gateway: per-op deadline on node connections")
 	)
 	flag.Parse()
 
@@ -91,6 +102,43 @@ func main() {
 				log.Printf("pprof server: %v", err)
 			}
 		}()
+	}
+
+	var maxProto int
+	switch *protocol {
+	case "v2", "2", "":
+		maxProto = appliance.ProtocolV2
+	case "v1", "1":
+		maxProto = appliance.ProtocolV1
+	default:
+		log.Fatalf("unknown -protocol %q (want v1 or v2)", *protocol)
+	}
+	srvOpts := appliance.ServerOptions{
+		MaxConns:    *maxConns,
+		IdleTimeout: *idleTimeout,
+		MaxProtocol: maxProto,
+		MaxPipeline: *maxPipeline,
+	}
+
+	// Gateway mode: no local store — the data path is the replicated ring.
+	if *clusterPeers != "" {
+		runGateway(gatewayConfig{
+			listen:      *listen,
+			metricsAddr: *metricsAddr,
+			statsEach:   *statsEach,
+			srvOpts:     srvOpts,
+			cluster: cluster.Config{
+				Nodes:           strings.Split(*clusterPeers, ","),
+				Replicas:        *clusterReplicas,
+				WriteQuorum:     *clusterQuorum,
+				WriteBack:       *clusterWriteBack,
+				PlacementBlocks: *clusterPlacement,
+				HandoffMax:      *clusterHandoffMax,
+				ProbeEvery:      *clusterProbeEvery,
+				Dial:            appliance.DialOptions{Timeout: *clusterDialTimeout},
+			},
+		})
+		return
 	}
 
 	var backend core.Backend
@@ -174,21 +222,7 @@ func main() {
 		}
 	}
 
-	var maxProto int
-	switch *protocol {
-	case "v2", "2", "":
-		maxProto = appliance.ProtocolV2
-	case "v1", "1":
-		maxProto = appliance.ProtocolV1
-	default:
-		log.Fatalf("unknown -protocol %q (want v1 or v2)", *protocol)
-	}
-	srv := appliance.NewServerWith(st, appliance.ServerOptions{
-		MaxConns:    *maxConns,
-		IdleTimeout: *idleTimeout,
-		MaxProtocol: maxProto,
-		MaxPipeline: *maxPipeline,
-	})
+	srv := appliance.NewServerWith(st, srvOpts)
 
 	if *metricsAddr != "" {
 		obs := appliance.NewObservability(st)
@@ -273,6 +307,76 @@ func main() {
 	}
 	if err := st.Close(); err != nil {
 		log.Printf("store close: %v", err)
+	}
+}
+
+type gatewayConfig struct {
+	listen      string
+	metricsAddr string
+	statsEach   time.Duration
+	srvOpts     appliance.ServerOptions
+	cluster     cluster.Config
+}
+
+// runGateway fronts a replicated ring of appliance nodes with the same
+// wire protocol a single appliance speaks: ensemble servers connect to
+// the gateway, which routes, replicates, and fails over per block.
+func runGateway(cfg gatewayConfig) {
+	cl, err := cluster.New(cfg.cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := appliance.NewServerWith(cl, cfg.srvOpts)
+
+	if cfg.metricsAddr != "" {
+		go func() {
+			log.Printf("cluster observability listening on %s (/metrics, /statusz)", cfg.metricsAddr)
+			if err := http.ListenAndServe(cfg.metricsAddr, cl.Handler()); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(cfg.listen) }()
+	log.Printf("cluster gateway serving on %s (%d nodes, R=%d W=%d write-back=%v)",
+		cfg.listen, len(cfg.cluster.Nodes), cfg.cluster.Replicas, cfg.cluster.WriteQuorum, cfg.cluster.WriteBack)
+
+	if cfg.statsEach > 0 {
+		go func() {
+			for range time.Tick(cfg.statsEach) {
+				s := cl.ClusterStats()
+				up := 0
+				for _, n := range s.Nodes {
+					if n.State == "up" {
+						up++
+					}
+				}
+				log.Printf("cluster: nodes=%d/%d reads=%d writes=%d fallthrough=%d hinted=%d drained=%d rebalanced=%d underRepl=%d hints=%d quorumFail=%d",
+					up, s.RingSize, s.Reads, s.Writes, s.Fallthroughs, s.Hinted, s.Drained,
+					s.Rebalanced, s.UnderReplicated, s.HintDepth, s.QuorumFailures)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatalf("serve: %v", err)
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("server close: %v", err)
+	}
+	// Settle the ring before dropping connections: deliver pending hints
+	// and push dirty replicas down to the ensemble.
+	if err := cl.Flush(); err != nil {
+		log.Printf("cluster flush: %v", err)
+	}
+	if err := cl.Close(); err != nil {
+		log.Printf("cluster close: %v", err)
 	}
 }
 

@@ -1,0 +1,265 @@
+// Command benchcluster measures the replicated cluster mode's scale-out
+// and degraded-mode cost: an in-process ring of real appliance nodes
+// (loopback TCP, v2 pipelined protocol) is driven by concurrent mixed
+// read/write workers at N = 1, 3, 5 nodes, first healthy and then with
+// one node killed mid-ring. It emits machine-readable JSON
+// (BENCH_cluster.json) for CI trend lines.
+//
+// The backend is one shared in-memory ensemble, so the numbers isolate
+// the cluster layer's own cost: rendezvous routing, R-way replication
+// fan-out, quorum accounting, and — in the killed rows — breaker-guarded
+// read fall-through plus hinted handoff on the write path.
+//
+// Usage:
+//
+//	benchcluster -duration 2s -workers 8 -out BENCH_cluster.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/appliance"
+	"repro/internal/block"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sieve"
+	"repro/internal/store"
+)
+
+const (
+	spanBlocks = 4096 // distinct blocks in the workload
+	volBytes   = (spanBlocks + 4) * block.Size
+)
+
+type result struct {
+	Nodes    int     `json:"nodes"`
+	Replicas int     `json:"replicas"`
+	Mode     string  `json:"mode"` // healthy | one-killed
+	Workers  int     `json:"workers"`
+	Ops      int     `json:"ops"`
+	OpsPerS  float64 `json:"ops_per_s"`
+	P50us    float64 `json:"p50_us"`
+	P99us    float64 `json:"p99_us"`
+	Errors   int64   `json:"op_errors"`
+	Hinted   int64   `json:"hinted"`
+	Fallthru int64   `json:"read_fallthroughs"`
+}
+
+type report struct {
+	SpanBlocks int      `json:"span_blocks"`
+	DurationS  float64  `json:"duration_s_per_cell"`
+	Results    []result `json:"results"`
+}
+
+// bNode is one in-process appliance: a write-back store over the shared
+// ensemble behind a real TCP server.
+type bNode struct {
+	st   *core.Store
+	srv  *appliance.Server
+	addr string
+	done chan struct{}
+}
+
+func startNode(be *store.Mem) (*bNode, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.Open(be, core.Options{
+		CacheBytes: 8 << 20,
+		WriteBack:  true,
+		Shards:     8,
+		SieveC: sieve.CConfig{
+			IMCTSize: 1 << 12, T1: 1, T2: 1,
+			Window: time.Hour, Subwindows: 4,
+		},
+	})
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	srv := appliance.NewServer(st)
+	n := &bNode{st: st, srv: srv, addr: l.Addr().String(), done: make(chan struct{})}
+	go func() {
+		defer close(n.done)
+		srv.Serve(l)
+	}()
+	return n, nil
+}
+
+func (n *bNode) kill() {
+	n.srv.Close()
+	<-n.done
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcluster: ")
+	var (
+		duration = flag.Duration("duration", 2*time.Second, "measurement time per cell")
+		workers  = flag.Int("workers", 8, "concurrent client workers")
+		outPath  = flag.String("out", "BENCH_cluster.json", "JSON output path")
+	)
+	flag.Parse()
+
+	rep := report{SpanBlocks: spanBlocks, DurationS: duration.Seconds()}
+	for _, n := range []int{1, 3, 5} {
+		for _, killed := range []bool{false, true} {
+			if killed && n == 1 {
+				continue // a 1-node ring with its node killed serves nothing
+			}
+			r, err := runCell(n, killed, *workers, *duration)
+			if err != nil {
+				log.Fatalf("nodes=%d killed=%v: %v", n, killed, err)
+			}
+			rep.Results = append(rep.Results, r)
+			log.Printf("nodes=%d %-10s %9.0f ops/s  p50 %6.1f µs  p99 %7.1f µs  errs %d  hinted %d  fallthru %d",
+				r.Nodes, r.Mode, r.OpsPerS, r.P50us, r.P99us, r.Errors, r.Hinted, r.Fallthru)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*outPath, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *outPath)
+}
+
+// runCell builds a fresh n-node ring over one shared ensemble, warms
+// every block, then measures a 7:3 read/write Zipf mix. In killed mode
+// one node dies right before measurement, so the whole window runs
+// degraded: reads fall through to surviving replicas, writes to the dead
+// owner go through hinted handoff.
+func runCell(nNodes int, killOne bool, workers int, dur time.Duration) (result, error) {
+	be := store.NewMem()
+	be.AddVolume(0, 0, volBytes)
+	nodes := make([]*bNode, nNodes)
+	addrs := make([]string, nNodes)
+	for i := range nodes {
+		n, err := startNode(be)
+		if err != nil {
+			return result{}, err
+		}
+		defer n.kill()
+		defer n.st.Close()
+		nodes[i], addrs[i] = n, n.addr
+	}
+
+	replicas := 2
+	if nNodes == 1 {
+		replicas = 1
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes:       addrs,
+		Replicas:    replicas,
+		WriteQuorum: 1,
+		WriteBack:   true,
+		Dial: appliance.DialOptions{
+			Timeout:          2 * time.Second,
+			DialTimeout:      250 * time.Millisecond,
+			ReconnectBackoff: 5 * time.Millisecond,
+		},
+		ProbeEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	defer cl.Close()
+
+	// Warm: every block written once, so reads always hit real data.
+	wbuf := make([]byte, block.Size)
+	for i := range wbuf {
+		wbuf[i] = 0xC3
+	}
+	for b := uint64(0); b < spanBlocks; b++ {
+		if err := cl.WriteAt(0, 0, wbuf, b*block.Size); err != nil {
+			return result{}, fmt.Errorf("warm block %d: %w", b, err)
+		}
+	}
+
+	if killOne {
+		nodes[nNodes-1].kill()
+	}
+	base := cl.ClusterStats()
+
+	var (
+		mu      sync.Mutex
+		samples []time.Duration
+		errs    int64
+	)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			zipf := rand.NewZipf(rng, 1.2, 1, spanBlocks-1)
+			buf := make([]byte, block.Size)
+			local := make([]time.Duration, 0, 1<<18)
+			var localErrs int64
+			for time.Now().Before(deadline) {
+				off := zipf.Uint64() * block.Size
+				t0 := time.Now()
+				var err error
+				if rng.Intn(10) >= 7 {
+					err = cl.WriteAt(0, 0, buf, off)
+				} else {
+					err = cl.ReadAt(0, 0, buf, off)
+				}
+				if err != nil {
+					localErrs++
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			errs += localErrs
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := cl.ClusterStats()
+
+	if len(samples) == 0 {
+		return result{}, fmt.Errorf("no ops completed (%d errors)", errs)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(samples)-1))
+		return float64(samples[i]) / float64(time.Microsecond)
+	}
+	mode := "healthy"
+	if killOne {
+		mode = "one-killed"
+	}
+	return result{
+		Nodes:    nNodes,
+		Replicas: replicas,
+		Mode:     mode,
+		Workers:  workers,
+		Ops:      len(samples),
+		OpsPerS:  float64(len(samples)) / elapsed.Seconds(),
+		P50us:    pct(0.50),
+		P99us:    pct(0.99),
+		Errors:   errs,
+		Hinted:   st.Hinted - base.Hinted,
+		Fallthru: st.Fallthroughs - base.Fallthroughs,
+	}, nil
+}

@@ -156,10 +156,27 @@ type ServerOptions struct {
 	MaxPipeline int
 }
 
+// BlockStore is the storage surface a Server serves over the wire. A
+// *core.Store is the canonical implementation; cluster.Client satisfies
+// it too, so a Server can front a whole replicated ring as a gateway.
+// ReadPinned may return nil to decline zero-copy service — the read
+// then falls back to ReadAt.
+type BlockStore interface {
+	ReadAt(server, volume int, p []byte, off uint64) error
+	WriteAt(server, volume int, p []byte, off uint64) error
+	ReadVec(vecs []core.IOVec) error
+	WriteVec(vecs []core.IOVec) error
+	ReadPinned(server, volume, n int, off uint64) *core.PinnedRead
+	Stats() core.Stats
+	RotateEpoch() error
+	Flush() error
+	Invalidate(server, volume int, off uint64, length int) (int, error)
+}
+
 // Server serves the appliance protocol over a listener, backed by a
-// core.Store.
+// BlockStore (usually a core.Store).
 type Server struct {
-	store *core.Store
+	store BlockStore
 	opts  ServerOptions
 
 	mu       sync.Mutex
@@ -185,12 +202,12 @@ type Server struct {
 // NewServer returns a Server around st with no limits (ServerOptions zero
 // value). The caller retains ownership of st (Close does not close the
 // store).
-func NewServer(st *core.Store) *Server {
+func NewServer(st BlockStore) *Server {
 	return NewServerWith(st, ServerOptions{})
 }
 
 // NewServerWith returns a Server around st hardened with opts.
-func NewServerWith(st *core.Store, opts ServerOptions) *Server {
+func NewServerWith(st BlockStore, opts ServerOptions) *Server {
 	return &Server{store: st, opts: opts, conns: make(map[net.Conn]bool)}
 }
 

@@ -267,6 +267,13 @@ func (o *Observability) AttachResilience(res *resilience.Resilient) {
 	r.Counter("sievestore.resilience.transient_errors", func() int64 { return snap().TransientErrors })
 	r.Counter("sievestore.resilience.permanent_errors", func() int64 { return snap().PermanentErrors })
 	r.Gauge("sievestore.resilience.open_devices", func() float64 { return float64(snap().OpenDevices) })
+	// Per-edge transition counters: breaker_trips above conflates
+	// closed→open with failed half-open probes; these keep each edge of
+	// the state machine separately countable for failover post-mortems.
+	r.Counter("sievestore.resilience.breaker_transitions_closed_open", func() int64 { return snap().Transitions.ClosedOpen })
+	r.Counter("sievestore.resilience.breaker_transitions_open_half_open", func() int64 { return snap().Transitions.OpenHalfOpen })
+	r.Counter("sievestore.resilience.breaker_transitions_half_open_closed", func() int64 { return snap().Transitions.HalfOpenClosed })
+	r.Counter("sievestore.resilience.breaker_transitions_half_open_open", func() int64 { return snap().Transitions.HalfOpenOpen })
 }
 
 // Handler returns the HTTP mux serving /metrics, /statusz, and

@@ -185,6 +185,13 @@ func (c *Client) startReaderLocked() {
 	if c.pending == nil {
 		c.pending = make(map[uint32]*pendingOp)
 	}
+	// The HELLO exchange armed a deadline that would otherwise linger:
+	// with no op in flight yet on this generation (we hold c.mu, nothing
+	// has been sent), an idle reader must not time out waiting for the
+	// first response. send2 re-arms the deadline per request.
+	if c.opts.Timeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
 	go c.readLoop(c.conn, c.br, c.gen)
 }
 
@@ -276,13 +283,17 @@ func (c *Client) readLoop(conn net.Conn, br *bufio.Reader, gen int) {
 		}
 		// When the pipeline drains, clear the read deadline armed by the
 		// send path so the idle reader doesn't time out between bursts.
+		// The clear must happen INSIDE the pendMu critical section that
+		// observes the empty map: send2 registers under pendMu before
+		// arming its deadline, so clearing outside the lock could wipe a
+		// deadline a concurrent sender just armed and leave that op
+		// waiting forever on a hung server.
 		if c.opts.Timeout > 0 {
 			c.pendMu.Lock()
-			idle := len(c.pending) == 0
-			c.pendMu.Unlock()
-			if idle {
+			if len(c.pending) == 0 {
 				conn.SetReadDeadline(time.Time{})
 			}
+			c.pendMu.Unlock()
 		}
 		close(p.done)
 	}

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/appliance"
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/sieve"
+	"repro/internal/store"
+)
+
+// The in-process multi-node harness: every "appliance" is a write-back
+// (or write-through) core.Store over ONE shared in-memory ensemble,
+// fronted by a real appliance.Server on a loopback port. Kill closes
+// the server and abandons the store without flushing — the crash model:
+// a killed node's cached dirty data is gone, and its restarted self
+// comes back cold on the same address.
+
+type tNode struct {
+	t         *testing.T
+	be        *store.Mem
+	writeBack bool
+
+	mu    sync.Mutex
+	addr  string
+	st    *core.Store
+	srv   *appliance.Server
+	done  chan struct{}
+	alive bool
+}
+
+func testSieve() sieve.CConfig {
+	return sieve.CConfig{IMCTSize: 1 << 12, T1: 1, T2: 1, Window: time.Hour, Subwindows: 4}
+}
+
+func (n *tNode) open(l net.Listener) {
+	st, err := core.Open(n.be, core.Options{
+		CacheBytes: 4 << 20, // larger than any test working set: no eviction churn
+		WriteBack:  n.writeBack,
+		SieveC:     testSieve(),
+	})
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	srv := appliance.NewServer(st)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	n.mu.Lock()
+	n.addr, n.st, n.srv, n.done, n.alive = l.Addr().String(), st, srv, done, true
+	n.mu.Unlock()
+}
+
+func startTNode(t *testing.T, be *store.Mem, writeBack bool) *tNode {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &tNode{t: t, be: be, writeBack: writeBack}
+	n.open(l)
+	t.Cleanup(n.stop)
+	return n
+}
+
+// kill crashes the node: the server drops every connection and the
+// store is abandoned — its un-flushed dirty blocks are lost, exactly
+// like a power cut.
+func (n *tNode) kill() {
+	n.mu.Lock()
+	srv, done, alive := n.srv, n.done, n.alive
+	n.alive = false
+	n.mu.Unlock()
+	if !alive {
+		return
+	}
+	srv.Close()
+	<-done
+}
+
+// restart brings the node back cold on its previous address.
+func (n *tNode) restart() {
+	n.mu.Lock()
+	addr, alive := n.addr, n.alive
+	n.mu.Unlock()
+	if alive {
+		return
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l, err := net.Listen("tcp", addr)
+		if err == nil {
+			n.open(l)
+			return
+		}
+		if time.Now().After(deadline) {
+			n.t.Errorf("restart: cannot rebind %s: %v", addr, err)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (n *tNode) stop() {
+	n.mu.Lock()
+	srv, st, done, alive := n.srv, n.st, n.done, n.alive
+	n.alive = false
+	n.mu.Unlock()
+	if alive {
+		srv.Close()
+		<-done
+	}
+	if st != nil {
+		st.Close()
+	}
+}
+
+// newTestRing builds count nodes over one shared ensemble plus a
+// cluster client. Fast-failure dial/breaker/probe settings keep
+// failover latency in test range.
+func newTestRing(t *testing.T, count int, cfg Config) (*store.Mem, []*tNode, *Client) {
+	t.Helper()
+	be := store.NewMem()
+	be.AddVolume(0, 0, 1<<22)
+	nodes := make([]*tNode, count)
+	for i := range nodes {
+		nodes[i] = startTNode(t, be, cfg.WriteBack)
+		cfg.Nodes = append(cfg.Nodes, nodes[i].addr)
+	}
+	if cfg.Dial.Timeout == 0 {
+		cfg.Dial.Timeout = 2 * time.Second
+	}
+	if cfg.Dial.DialTimeout == 0 {
+		cfg.Dial.DialTimeout = 250 * time.Millisecond
+	}
+	if cfg.Dial.ReconnectBackoff == 0 {
+		cfg.Dial.ReconnectBackoff = 5 * time.Millisecond
+	}
+	if cfg.Breaker.Threshold == 0 {
+		cfg.Breaker.Threshold = 2
+	}
+	if cfg.Breaker.OpenFor == 0 {
+		cfg.Breaker.OpenFor = 25 * time.Millisecond
+	}
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = 20 * time.Millisecond
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return be, nodes, cl
+}
+
+// settle waits until every hint queue, shed span, and under-replication
+// backlog has cleared.
+func settle(t *testing.T, cl *Client, within time.Duration) ClusterStats {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		st := cl.ClusterStats()
+		spans := 0
+		for _, n := range st.Nodes {
+			spans += n.ShedSpans
+		}
+		if st.HintDepth == 0 && st.UnderReplicated == 0 && spans == 0 {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster did not settle: hints=%d under_replicated=%d shed_spans=%d",
+				st.HintDepth, st.UnderReplicated, spans)
+		}
+		cl.kickRepair()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitNodeState polls until node id reaches the wanted state string.
+func waitNodeState(t *testing.T, cl *Client, id int, want string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		st := cl.ClusterStats()
+		if id < len(st.Nodes) && st.Nodes[id].State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d never became %q (now %+v)", id, want, st.Nodes[id])
+		}
+		cl.kickRepair()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// blockAt returns the byte offset of block number n.
+func blockAt(n uint64) uint64 { return n * block.Size }

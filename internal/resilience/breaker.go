@@ -68,6 +68,26 @@ type Breaker struct {
 	openedAt time.Time
 	inProbe  int // outstanding half-open probes
 	trips    int64
+	trans    BreakerTransitions
+}
+
+// BreakerTransitions counts every state-machine edge a breaker has
+// taken. Unlike the point-in-time Open() snapshot, these are monotonic,
+// so a post-mortem can reconstruct flap behavior (a breaker that tripped
+// and recovered between two scrapes still shows up here).
+type BreakerTransitions struct {
+	ClosedOpen     int64 // closed → open (window hit Threshold)
+	OpenHalfOpen   int64 // open → half-open (cool-down expired, probe let through)
+	HalfOpenClosed int64 // half-open → closed (probe succeeded)
+	HalfOpenOpen   int64 // half-open → open (probe failed)
+}
+
+// add accumulates o into t.
+func (t *BreakerTransitions) add(o BreakerTransitions) {
+	t.ClosedOpen += o.ClosedOpen
+	t.OpenHalfOpen += o.OpenHalfOpen
+	t.HalfOpenClosed += o.HalfOpenClosed
+	t.HalfOpenOpen += o.HalfOpenOpen
 }
 
 // NewBreaker returns a closed breaker.
@@ -95,6 +115,7 @@ func (b *Breaker) Allow() error {
 		}
 		b.state = stateHalfOpen
 		b.inProbe = 0
+		b.trans.OpenHalfOpen++
 		fallthrough
 	default: // stateHalfOpen
 		if b.inProbe >= b.cfg.Probes {
@@ -128,6 +149,7 @@ func (b *Breaker) Record(err error) {
 		} else {
 			b.state = stateClosed
 			b.window.Reset()
+			b.trans.HalfOpenClosed++
 		}
 	case stateOpen:
 		// A late Record from a request allowed before the trip; the
@@ -137,6 +159,11 @@ func (b *Breaker) Record(err error) {
 
 // trip moves to open and stamps the cool-down. Caller holds b.mu.
 func (b *Breaker) trip() {
+	if b.state == stateHalfOpen {
+		b.trans.HalfOpenOpen++
+	} else {
+		b.trans.ClosedOpen++
+	}
 	b.state = stateOpen
 	b.openedAt = b.cfg.Now()
 	b.window.Reset()
@@ -157,4 +184,12 @@ func (b *Breaker) Trips() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.trips
+}
+
+// Transitions snapshots the breaker's cumulative state-transition
+// counts.
+func (b *Breaker) Transitions() BreakerTransitions {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trans
 }

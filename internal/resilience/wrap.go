@@ -120,6 +120,9 @@ type Snapshot struct {
 	OpenDevices      int   // breakers currently fast-failing
 	TransientErrors  int64 // attempt failures classified retryable
 	PermanentErrors  int64 // op failures classified permanent
+	// Transitions accumulates every breaker state-machine edge across all
+	// devices (monotonic; see BreakerTransitions).
+	Transitions BreakerTransitions
 }
 
 // Stats snapshots the layer's counters.
@@ -139,6 +142,7 @@ func (r *Resilient) Stats() Snapshot {
 	r.mu.Unlock()
 	for _, b := range brs {
 		s.BreakerTrips += b.Trips()
+		s.Transitions.add(b.Transitions())
 		if b.Open() {
 			s.OpenDevices++
 		}
