@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race test-chaos test-cluster cover bench bench-smoke bench-hot bench-wire bench-tier bench-cluster experiments fuzz test-fuzz fmt vet lint clean
+.PHONY: all build test race test-chaos test-cluster test-tenant cover bench bench-smoke bench-hot bench-wire bench-tier bench-cluster experiments fuzz test-fuzz fmt vet lint clean
 
 # Tier-1 flow: compile, static checks, unit tests, the race detector over
 # every package (the concurrent store/appliance paths must stay
-# race-clean), then the cluster suite and a smoke pass over the
-# concurrency benchmarks.
-all: build vet lint test race test-cluster bench-smoke
+# race-clean), then the cluster suite, the multi-tenant QoS suite, and a
+# smoke pass over the concurrency benchmarks.
+all: build vet lint test race test-cluster test-tenant bench-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,15 @@ race:
 # and clean recovery out of every degraded mode.
 test-chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/core/
+
+# Multi-tenant QoS suite under the race detector: the adversarial
+# noisy-neighbor scenario (quotas keep a stable tenant within 2% of its
+# solo hit ratio while a churner degrades the unguarded run ≥5%), the
+# endurance-budget caps, the accounting no-double-count fence, and the
+# quota-repartition stress run across rotations/flushes/snapshots.
+test-tenant:
+	$(GO) test -race -count=1 -run 'TestTenant' ./internal/core/
+	$(GO) test -race -count=1 ./internal/tenant/
 
 # Replicated-cluster suite under the race detector, including the
 # multi-node chaos run (kill/restart mid-load over an N=3 R=2 ring:
@@ -52,10 +61,11 @@ COVER_FLOOR_metrics    := 90
 COVER_FLOOR_appliance  := 80
 COVER_FLOOR_cache      := 90
 COVER_FLOOR_tier       := 85
+COVER_FLOOR_tenant     := 85
 
 cover:
 	@out=$$($(GO) test -cover ./internal/...); echo "$$out"; fail=0; \
-	for spec in metrics:$(COVER_FLOOR_metrics) appliance:$(COVER_FLOOR_appliance) cache:$(COVER_FLOOR_cache) tier:$(COVER_FLOOR_tier); do \
+	for spec in metrics:$(COVER_FLOOR_metrics) appliance:$(COVER_FLOOR_appliance) cache:$(COVER_FLOOR_cache) tier:$(COVER_FLOOR_tier) tenant:$(COVER_FLOOR_tenant); do \
 	  pkg=$${spec%%:*}; floor=$${spec##*:}; \
 	  pct=$$(echo "$$out" | awk -v p="repro/internal/$$pkg" \
 	    '$$2==p { for (i=1; i<=NF; i++) if ($$i ~ /%$$/) { gsub(/%/, "", $$i); print $$i } }'); \
@@ -120,6 +130,7 @@ fuzz:
 	$(GO) test ./internal/appliance/ -fuzz 'FuzzFrameRoundTripV2$$' -fuzztime 30s -run XXX
 	$(GO) test ./internal/appliance/ -fuzz FuzzServerInput -fuzztime 30s -run XXX
 	$(GO) test ./internal/appliance/ -fuzz FuzzClientResponse -fuzztime 30s -run XXX
+	$(GO) test ./internal/tenant/ -fuzz FuzzTenantAccounting -fuzztime 30s -run XXX
 
 # Quick smoke over every fuzz target (seed corpora + 5s of new inputs
 # each) — cheap enough for pre-commit; `make fuzz` is the long soak.
@@ -131,6 +142,7 @@ test-fuzz:
 	$(GO) test ./internal/appliance/ -fuzz 'FuzzFrameRoundTripV2$$' -fuzztime 5s -run XXX
 	$(GO) test ./internal/appliance/ -fuzz FuzzServerInput -fuzztime 5s -run XXX
 	$(GO) test ./internal/appliance/ -fuzz FuzzClientResponse -fuzztime 5s -run XXX
+	$(GO) test ./internal/tenant/ -fuzz FuzzTenantAccounting -fuzztime 5s -run XXX
 
 fmt:
 	gofmt -w .

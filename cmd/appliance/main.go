@@ -71,6 +71,11 @@ func main() {
 		maxConns       = flag.Int("max-conns", 0, "cap on concurrently served connections; extras get a busy error (0: unlimited)")
 		idleTimeout    = flag.Duration("idle-timeout", 0, "drop connections idle this long between requests (0: never)")
 
+		tenantTrack       = flag.Bool("tenant-track", false, "per-tenant (server, volume) accounting: occupancy, hit ratios, alloc-writes (observe-only)")
+		tenantQuotas      = flag.Bool("tenant-quotas", false, "enforce per-tenant soft capacity quotas, repartitioned by realized reuse (implies -tenant-track)")
+		enduranceMBPerDay = flag.Int64("endurance-mb-per-day", 0, "SSD endurance envelope in MiB/day, split across tenants as per-tenant alloc-write token buckets (0: off; implies -tenant-track)")
+		repartitionEvery  = flag.Duration("tenant-repartition-every", 0, "time-driven quota repartition interval (0: default 1m; negative: epoch boundaries only)")
+
 		ramTierMB    = flag.Int64("ram-tier-mb", 0, "in-process RAM hot tier above the SSD cache, in MiB (0: disabled)")
 		promoteHits  = flag.Int("tier-promote-hits", 0, "repeated SSD read hits before a block is promoted to the RAM tier (0: default)")
 		tierAutotune = flag.Bool("tier-autotune", false, "resize the RAM tier at epoch boundaries per the cost advisor (variant d only)")
@@ -192,6 +197,11 @@ func main() {
 		TierAutotune:      *tierAutotune,
 		TierMinBytes:      *tierMinMB << 20,
 		TierMaxBytes:      *tierMaxMB << 20,
+
+		TenantTracking:         *tenantTrack,
+		TenantQuotas:           *tenantQuotas,
+		EnduranceBytesPerDay:   *enduranceMBPerDay << 20,
+		TenantRepartitionEvery: *repartitionEvery,
 	}
 	switch *variant {
 	case "c":
@@ -262,6 +272,13 @@ func main() {
 						ts.Hits, ts.CachedBlocks, ts.CapacityBlocks, ts.Promotions, ts.Demotions)
 					if ts.Resizes > 0 {
 						line += fmt.Sprintf(" tierResizes=%d", ts.Resizes)
+					}
+				}
+				if s.Tenants > 0 {
+					line += fmt.Sprintf(" tenants=%d", s.Tenants)
+					if s.QuotaDenials > 0 || s.ThrottleDenials > 0 || s.TenantClips > 0 {
+						line += fmt.Sprintf(" quotaDeny=%d throttleDeny=%d tenantClips=%d",
+							s.QuotaDenials, s.ThrottleDenials, s.TenantClips)
 					}
 				}
 				if s.Degraded || s.DegradedEnters > 0 || s.SpillDisables > 0 {

@@ -2,6 +2,7 @@ package appliance
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/sieve"
 	"repro/internal/sieved"
+	"repro/internal/tenant"
 	"repro/internal/tier"
 )
 
@@ -36,22 +38,29 @@ type Observability struct {
 	start time.Time
 	now   func() time.Time
 
-	mu     sync.RWMutex
-	stats  core.Stats
-	sieve  sieve.CStats
-	spill  sieved.LoggerStats
-	tier   tier.Stats
-	advice *tier.Advice
+	mu      sync.RWMutex
+	stats   core.Stats
+	sieve   sieve.CStats
+	spill   sieved.LoggerStats
+	tier    tier.Stats
+	advice  *tier.Advice
+	tenants []tenant.Snapshot
+
+	// Tenants appear dynamically as I/O arrives, so their per-tenant
+	// series are registered lazily from refresh (the registry has no
+	// labels — the identity lives in the metric name).
+	tenantSeen map[tenant.ID]bool
 }
 
 // NewObservability builds a registry over st's counters. Attach more
 // producers with AttachServer and AttachResilience, then serve Handler.
 func NewObservability(st *core.Store) *Observability {
 	o := &Observability{
-		Registry: metrics.NewRegistry(),
-		store:    st,
-		start:    time.Now(),
-		now:      time.Now,
+		Registry:   metrics.NewRegistry(),
+		store:      st,
+		start:      time.Now(),
+		now:        time.Now,
+		tenantSeen: make(map[tenant.ID]bool),
 	}
 	r := o.Registry
 	r.OnCollect(o.refresh)
@@ -187,6 +196,14 @@ func NewObservability(st *core.Store) *Observability {
 		})
 	}
 
+	if _, ok := st.TenantStats(); ok {
+		c("tenants", func(s core.Stats) int64 { return s.Tenants })
+		c("quota_denials", func(s core.Stats) int64 { return s.QuotaDenials })
+		c("throttle_denials", func(s core.Stats) int64 { return s.ThrottleDenials })
+		c("tenant_clips", func(s core.Stats) int64 { return s.TenantClips })
+		c("tenant_repartitions", func(s core.Stats) int64 { return s.TenantRepartitions })
+	}
+
 	if _, ok := st.SpillStats(); ok {
 		sg := func(name string, f func(sieved.LoggerStats) float64) {
 			r.Gauge("sievestore.sieved."+name, func() float64 { return f(o.spillStats()) })
@@ -209,9 +226,65 @@ func (o *Observability) refresh() {
 	if tiered {
 		adv = o.store.TierAdvice()
 	}
+	tn, _ := o.store.TenantStats()
 	o.mu.Lock()
 	o.stats, o.sieve, o.spill, o.tier, o.advice = st, sv, sp, ts, adv
+	o.tenants = tn
+	var fresh []tenant.Snapshot
+	for _, t := range tn {
+		if !o.tenantSeen[t.ID] {
+			o.tenantSeen[t.ID] = true
+			fresh = append(fresh, t)
+		}
+	}
 	o.mu.Unlock()
+	// Register series for newly seen tenants outside o.mu: collection
+	// runs its prepare hooks before taking the registry lock, so
+	// registering here is safe and the new series appear on this very
+	// scrape.
+	for _, t := range fresh {
+		o.registerTenant(t.ID)
+	}
+}
+
+// registerTenant adds one tenant's metric series under
+// sievestore.tenant.<server>_<volume>.*.
+func (o *Observability) registerTenant(id tenant.ID) {
+	r := o.Registry
+	prefix := fmt.Sprintf("sievestore.tenant.%d_%d.", id.Server(), id.Volume())
+	tc := func(name string, f func(tenant.Snapshot) int64) {
+		r.Counter(prefix+name, func() int64 { return f(o.tenantSnapFor(id)) })
+	}
+	tg := func(name string, f func(tenant.Snapshot) float64) {
+		r.Gauge(prefix+name, func() float64 { return f(o.tenantSnapFor(id)) })
+	}
+	tc("reads", func(s tenant.Snapshot) int64 { return s.Reads })
+	tc("writes", func(s tenant.Snapshot) int64 { return s.Writes })
+	tc("hits", func(s tenant.Snapshot) int64 { return s.Hits })
+	tc("alloc_writes", func(s tenant.Snapshot) int64 { return s.AllocWrites })
+	tc("quota_denials", func(s tenant.Snapshot) int64 { return s.QuotaDenials })
+	tc("throttle_denials", func(s tenant.Snapshot) int64 { return s.ThrottleDenials })
+	tc("selection_clips", func(s tenant.Snapshot) int64 { return s.SelectionClips })
+	tc("throttles", func(s tenant.Snapshot) int64 { return s.Throttles })
+	tg("quota_blocks", func(s tenant.Snapshot) float64 { return float64(s.QuotaBlocks) })
+	tg("occupancy_blocks", func(s tenant.Snapshot) float64 { return float64(s.OccupancyBlocks) })
+	tg("hit_ratio", func(s tenant.Snapshot) float64 { return s.HitRatio() })
+	tg("throttled", func(s tenant.Snapshot) float64 { return float64(s.Throttled) })
+	tg("endurance_tokens_bytes", func(s tenant.Snapshot) float64 { return float64(s.EnduranceTokens) })
+}
+
+// tenantSnapFor returns the cached snapshot for one tenant (zero value
+// if the tenant vanished from the snapshot, which cannot happen today —
+// tenants are never forgotten).
+func (o *Observability) tenantSnapFor(id tenant.ID) tenant.Snapshot {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for _, t := range o.tenants {
+		if t.ID == id {
+			return t
+		}
+	}
+	return tenant.Snapshot{}
 }
 
 func (o *Observability) coreStats() core.Stats {
@@ -300,6 +373,11 @@ func (o *Observability) Handler() http.Handler {
 			if adv := o.store.TierAdvice(); adv != nil {
 				body["tier_advisor"] = adv
 			}
+		}
+		// The per-tenant QoS table, when tenant tracking is on: quotas,
+		// occupancy, hit ratios, and endurance state per (server, volume).
+		if tn, ok := o.store.TenantStats(); ok {
+			body["tenants"] = tn
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -371,3 +371,154 @@ func grepLines(s, substr string) string {
 	}
 	return strings.Join(out, "\n")
 }
+
+// TestObservabilityTenantMetrics checks the multi-tenant QoS surface:
+// per-tenant series appear lazily in /metrics as tenants start doing
+// I/O, the core-level QoS counters are exported, and /statusz carries
+// the per-tenant table.
+func TestObservabilityTenantMetrics(t *testing.T) {
+	be := store.NewMem()
+	be.AddVolume(0, 0, 1<<20)
+	be.AddVolume(1, 2, 1<<20)
+	st, err := core.Open(be, core.Options{
+		CacheBytes:     64 * block.Size,
+		Variant:        core.VariantC,
+		TenantTracking: true,
+		TenantQuotas:   true,
+		// A permissive sieve so the hot tenant's re-reads are admitted
+		// and earn hits within the short workload.
+		SieveC: sieve.CConfig{
+			IMCTSize: 1 << 10, T1: 1, T2: 1,
+			Window: 2 * time.Minute, Subwindows: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	obs := NewObservability(st)
+	web := httptest.NewServer(obs.Handler())
+	defer web.Close()
+
+	// A scrape before any I/O: core QoS counters are present, no
+	// per-tenant series yet.
+	body, _ := httpGet(t, web.URL+"/metrics")
+	for _, want := range []string{
+		"sievestore_core_tenants 0",
+		"sievestore_core_quota_denials 0",
+		"sievestore_core_throttle_denials 0",
+		"sievestore_core_tenant_clips 0",
+		"sievestore_core_tenant_repartitions 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q before I/O:\n%s", want, grepLines(body, "tenant"))
+		}
+	}
+	if strings.Contains(body, "sievestore_tenant_") {
+		t.Errorf("per-tenant series before any I/O:\n%s", grepLines(body, "sievestore_tenant_"))
+	}
+
+	// Drive two tenants: (0,0) re-reads a small set so it earns hits,
+	// (1,2) touches each block once.
+	buf := bytes.Repeat([]byte{0x7E}, block.Size)
+	rd := make([]byte, block.Size)
+	for i := 0; i < 8; i++ {
+		if err := st.WriteAt(0, 0, buf, uint64(i)*block.Size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 8; i++ {
+			if err := st.ReadAt(0, 0, rd, uint64(i)*block.Size); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if err := st.ReadAt(1, 2, rd, uint64(i)*block.Size); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snaps, ok := st.TenantStats()
+	if !ok || len(snaps) != 2 {
+		t.Fatalf("TenantStats = %v, %v; want 2 tenants", snaps, ok)
+	}
+
+	// The next scrape registers both tenants' series and reports their
+	// live counters.
+	body, _ = httpGet(t, web.URL+"/metrics")
+	for _, want := range []string{
+		"sievestore_core_tenants 2",
+		"# TYPE sievestore_tenant_0_0_reads counter",
+		"# TYPE sievestore_tenant_0_0_hit_ratio gauge",
+		"sievestore_tenant_0_0_reads 80",
+		"sievestore_tenant_0_0_writes 8",
+		"sievestore_tenant_1_2_reads 16",
+		"sievestore_tenant_1_2_writes 0",
+		"sievestore_tenant_0_0_quota_blocks",
+		"sievestore_tenant_0_0_occupancy_blocks",
+		"sievestore_tenant_1_2_endurance_tokens_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, grepLines(body, "tenant"))
+		}
+	}
+	// The hot tenant earned hits; they show up in its series.
+	hot := snaps[0]
+	if hot.Server != 0 || hot.Volume != 0 || hot.Hits == 0 {
+		t.Fatalf("unexpected first tenant snapshot: %+v", hot)
+	}
+	if want := "sievestore_tenant_0_0_hits " + itoa(hot.Hits); !strings.Contains(body, want) {
+		t.Errorf("/metrics missing %q:\n%s", want, grepLines(body, "hits"))
+	}
+
+	// /statusz carries the per-tenant table with identity and quotas.
+	statusBody, _ := httpGet(t, web.URL+"/statusz")
+	var status struct {
+		Tenants []struct {
+			Server          int   `json:"server"`
+			Volume          int   `json:"volume"`
+			QuotaBlocks     int64 `json:"quota_blocks"`
+			OccupancyBlocks int64 `json:"occupancy_blocks"`
+			Reads           int64 `json:"reads"`
+			Hits            int64 `json:"hits"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal([]byte(statusBody), &status); err != nil {
+		t.Fatal(err)
+	}
+	if len(status.Tenants) != 2 {
+		t.Fatalf("/statusz tenants = %+v, want 2 entries", status.Tenants)
+	}
+	if status.Tenants[0].Server != 0 || status.Tenants[0].Volume != 0 ||
+		status.Tenants[1].Server != 1 || status.Tenants[1].Volume != 2 {
+		t.Errorf("/statusz tenant identities wrong: %+v", status.Tenants)
+	}
+	if status.Tenants[0].Reads != 80 || status.Tenants[0].Hits == 0 {
+		t.Errorf("/statusz hot tenant counters wrong: %+v", status.Tenants[0])
+	}
+	if status.Tenants[0].QuotaBlocks <= 0 {
+		t.Errorf("/statusz hot tenant quota = %d, want > 0", status.Tenants[0].QuotaBlocks)
+	}
+
+	// A store without tenant tracking exports none of this.
+	be2 := store.NewMem()
+	be2.AddVolume(0, 0, 1<<20)
+	st2, err := core.Open(be2, core.Options{CacheBytes: 64 * block.Size, Variant: core.VariantC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	obs2 := NewObservability(st2)
+	web2 := httptest.NewServer(obs2.Handler())
+	defer web2.Close()
+	body2, _ := httpGet(t, web2.URL+"/metrics")
+	if strings.Contains(body2, "tenant") {
+		t.Errorf("untracked store exports tenant series:\n%s", grepLines(body2, "tenant"))
+	}
+	status2, _ := httpGet(t, web2.URL+"/statusz")
+	if strings.Contains(status2, "\"tenants\"") {
+		t.Errorf("untracked store /statusz has tenants table:\n%s", status2)
+	}
+}

@@ -151,8 +151,12 @@ func (s *Store) ReadPinned(server, volume, n int, off uint64) *PinnedRead {
 		return nil
 	}
 	// Log exactly the blocks served here; the caller's tail ReadAt logs
-	// (and counts) the rest itself.
+	// (and counts) the rest itself. Tenant accounting follows the same
+	// split: every pinned block is an access and a hit for its tenant.
 	s.logAccess(server, volume, first, len(pr.views))
+	s.tenantTick()
+	s.tenantAccess(server, volume, int64(len(pr.views)), false)
+	s.tenantHits(server, volume, int64(len(pr.views)))
 	if s.opts.TrackLatency && len(pr.views) == nBlocks {
 		s.histRead.Observe(time.Since(s.monoBase) - start)
 	}

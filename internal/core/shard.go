@@ -10,6 +10,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/cache"
 	"repro/internal/sieve"
+	"repro/internal/tenant"
 	"repro/internal/tier"
 )
 
@@ -251,8 +252,17 @@ func (sh *shard) tryAdmit(key block.Key, data []byte, kind block.Kind, now time.
 	if sh.sieveC == nil {
 		return false
 	}
+	// Tenant QoS raises the tenant's effective sieve threshold: by the
+	// soft-throttle penalty when its endurance bucket runs low, and to an
+	// unreachable level while it is at/over quota or out of endurance
+	// budget. The sieve still counts the miss either way, so a penalized
+	// tenant's hot blocks admit the moment the penalty lifts.
+	extra := 0
+	if a := sh.store.acct; a != nil {
+		extra, _ = a.Admission(tenant.IDOf(key), now)
+	}
 	acc := block.Access{Time: now.Sub(sh.store.sieveBase).Nanoseconds(), Key: key, Kind: kind}
-	if !sh.sieveC.ShouldAllocate(acc) {
+	if !sh.sieveC.ShouldAllocateN(acc, extra) {
 		return false
 	}
 	if !sh.install(key, data) {
@@ -262,6 +272,7 @@ func (sh *shard) tryAdmit(key block.Key, data []byte, kind block.Kind, now time.
 		sh.dirty[key] = true
 	}
 	sh.stats.AllocWrites++
+	sh.tenantAllocWrite(key, 1)
 	return true
 }
 
@@ -279,7 +290,8 @@ func (sh *shard) install(key block.Key, data []byte) bool {
 			return false
 		}
 	}
-	if sh.tags.Len() >= sh.tags.Capacity() && !sh.tags.Contains(key) {
+	wasResident := sh.tags.Contains(key)
+	if sh.tags.Len() >= sh.tags.Capacity() && !wasResident {
 		if victim, ok := sh.tags.Victim(); ok && sh.dirty[victim] {
 			if err := sh.flushBlock(victim); err != nil {
 				sh.stats.FlushErrors++
@@ -291,10 +303,16 @@ func (sh *shard) install(key block.Key, data []byte) bool {
 		sh.stats.Evictions++
 		sh.recycleLocked(sh.frames[victim])
 		delete(sh.frames, victim)
+		sh.tenantEvict(victim)
 	}
 	frame := sh.alloc()
 	copy(frame, data)
 	sh.frames[key] = frame
+	if !wasResident {
+		// A duplicate insert is a touch (snapshot streams can repeat a
+		// key): tenant occupancy moves only on a real residency change.
+		sh.tenantInstall(key)
+	}
 	sh.store.noteCacheOK()
 	return true
 }
@@ -593,11 +611,16 @@ func (sh *shard) commitEpochLocked(selected []block.Key, fetched map[block.Key][
 		sh.recycleLocked(sh.frames[k])
 		delete(sh.frames, k)
 		sh.stats.Evictions++
+		sh.tenantEvict(k)
 	}
 	for _, k := range final {
 		if sh.frames[k] == nil {
 			sh.frames[k] = fetched[k]
 			sh.stats.EpochMoves++
+			// Epoch batch installs are real SSD allocation-writes: move
+			// tenant occupancy and charge the endurance budget.
+			sh.tenantInstall(k)
+			sh.tenantAllocWrite(k, 1)
 		}
 	}
 	// This shard's transition is committed; writes no longer need to

@@ -209,6 +209,7 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 			sh.tags.Remove(k)
 			sh.recycleLocked(sh.frames[k])
 			delete(sh.frames, k)
+			sh.tenantEvict(k)
 		}
 		// Install in reverse so the hottest block ends most-recently-used.
 		// No rotation can be staging here (the rotating flag is ours), so

@@ -34,6 +34,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sieve"
 	"repro/internal/sieved"
+	"repro/internal/tenant"
 	"repro/internal/tier"
 )
 
@@ -175,6 +176,31 @@ type Options struct {
 	// shard) and 4×RAMTierBytes capped at CacheBytes.
 	TierMinBytes int64
 	TierMaxBytes int64
+	// TenantTracking enables per-tenant accounting (occupancy, hit
+	// ratios, allocation-writes) keyed by the (server, volume) identity
+	// every request carries, surfaced via TenantStats. Implied by
+	// TenantQuotas and EnduranceBytesPerDay; on its own it only observes.
+	// Off (the default), every path is byte-identical to a tenant-blind
+	// store.
+	TenantTracking bool
+	// TenantQuotas enforces per-tenant soft capacity quotas: a tenant
+	// at/over its quota is denied sieve admission (its misses still feed
+	// the sieve's counters) and its share of a VariantD epoch selection
+	// is clipped. Quotas repartition by realized per-tenant reuse — each
+	// interval's hits earn the matching share of capacity above a small
+	// guaranteed floor — every TenantRepartitionEvery and at VariantD
+	// epoch boundaries. See internal/tenant.
+	TenantQuotas bool
+	// EnduranceBytesPerDay is the SSD endurance envelope: each tenant's
+	// allocation-writes drain a token bucket refilling at the tenant's
+	// capacity share of this daily rate. Running low raises the tenant's
+	// sieve threshold; an empty bucket denies admission until it refills.
+	// 0 (the default) disables the endurance budget.
+	EnduranceBytesPerDay int64
+	// TenantRepartitionEvery is the time-driven quota repartition
+	// interval (default 1 minute). Negative disables the timer, leaving
+	// only VariantD epoch-boundary repartitions.
+	TenantRepartitionEvery time.Duration
 }
 
 // DefaultShards returns the appliance's default shard count: GOMAXPROCS
@@ -292,6 +318,15 @@ func (o *Options) withDefaults() (Options, error) {
 			return out, errors.New("core: TierAutotune requires VariantD (the advisor replays epoch access counts)")
 		}
 	}
+	if out.EnduranceBytesPerDay < 0 {
+		return out, fmt.Errorf("core: EnduranceBytesPerDay must be ≥0, got %d", out.EnduranceBytesPerDay)
+	}
+	if out.TenantQuotas || out.EnduranceBytesPerDay > 0 {
+		out.TenantTracking = true
+	}
+	if out.TenantRepartitionEvery == 0 {
+		out.TenantRepartitionEvery = time.Minute
+	}
 	return out, nil
 }
 
@@ -336,6 +371,11 @@ type Stats struct {
 	TierCachedBlocks       int64 // current RAM-tier residency
 	TierCapacityBlocks     int64 // current RAM-tier capacity (autotune moves it)
 	TierResizes            int64 // RAM-tier capacity changes applied by autotune
+	Tenants                int64 // distinct (server, volume) tenants seen (tenant tracking only)
+	QuotaDenials           int64 // admissions denied because the tenant was at/over its soft quota
+	ThrottleDenials        int64 // admissions denied by an empty tenant endurance bucket
+	TenantClips            int64 // epoch-selected blocks clipped by tenant quota or endurance budget (VariantD)
+	TenantRepartitions     int64 // quota repartitions run (time-driven and epoch-boundary)
 	Degraded               bool  // whether the store is in cache-bypass mode right now
 
 	// ReadLatency/WriteLatency aggregate whole-call ReadAt/WriteAt service
@@ -427,6 +467,11 @@ type Store struct {
 	// advisor output (VariantD; nil before the first rotation).
 	tier       *tier.Cache
 	tierAdvice atomic.Pointer[tier.Advice]
+
+	// acct is the multi-tenant QoS accountant (nil unless
+	// Options.TenantTracking — see internal/tenant). It is a leaf in the
+	// lock order: safe to call under any shard lock, never calls back.
+	acct *tenant.Accountant
 
 	closed atomic.Bool
 
@@ -549,6 +594,19 @@ func Open(backend Backend, opts Options) (*Store, error) {
 		}
 		sh.stats.CapacityBlocks = int64(caps[i])
 		s.shards[i] = sh
+	}
+	if o.TenantTracking {
+		acct, err := tenant.New(tenant.Config{
+			CapacityBlocks:       o.CacheBytes / block.Size,
+			BlockBytes:           block.Size,
+			Quotas:               o.TenantQuotas,
+			EnduranceBytesPerDay: o.EnduranceBytesPerDay,
+			RepartitionEvery:     o.TenantRepartitionEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.acct = acct
 	}
 	if o.RAMTierBytes > 0 {
 		// SIEVE is the tier's point: lookups touch one atomic bit, so the
@@ -684,6 +742,14 @@ func (s *Store) Stats() Stats {
 		st.TierCapacityBlocks = ts.CapacityBlocks
 		st.TierResizes = ts.Resizes
 	}
+	if s.acct != nil {
+		t := s.acct.Totals()
+		st.Tenants = t.Tenants
+		st.QuotaDenials = t.QuotaDenials
+		st.ThrottleDenials = t.ThrottleDenials
+		st.TenantClips = t.SelectionClips
+		st.TenantRepartitions = t.Repartitions
+	}
 	st.Epochs = s.epochs.Load()
 	st.RotateFailures = s.rotateFailures.Load()
 	st.ResetFailures = s.resetFailures.Load()
@@ -802,6 +868,8 @@ func (s *Store) bypassRead(server, volume int, p []byte, off uint64, tr *metrics
 	sh.stats.BackendBytesRead += nBytes
 	sh.stats.BackendBytesServedRead += nBytes
 	sh.mu.Unlock()
+	s.tenantAccess(server, volume, int64(nBlocks), false)
+	s.tenantHits(server, volume, servedDirty)
 	s.bypassReads.Add(int64(nBlocks))
 	if tr != nil {
 		tr.Bypass = true
@@ -827,6 +895,7 @@ func (s *Store) bypassWrite(server, volume int, p []byte, off uint64, tr *metric
 		sh.stats.BackendBytesWritten += int64(len(p))
 	}
 	sh.mu.Unlock()
+	s.tenantAccess(server, volume, int64(nBlocks), true)
 	if err != nil {
 		return err
 	}
@@ -864,6 +933,7 @@ func (s *Store) dropRange(server, volume int, first uint64, n int) {
 				g.sh.tags.Remove(key)
 				g.sh.recycleLocked(g.sh.frames[key])
 				delete(g.sh.frames, key)
+				g.sh.tenantEvict(key)
 			}
 		}
 		g.sh.mu.Unlock()
@@ -978,9 +1048,11 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	s.tenantTick()
 	nBlocks := len(p) / block.Size
 	first := off / block.Size
 	s.logAccess(server, volume, first, nBlocks)
+	s.tenantAccess(server, volume, int64(nBlocks), false)
 
 	// RAM-tier pass: blocks resident in the in-process tier are served
 	// under its read lock plus one atomic reference-bit store — no shard
@@ -1003,6 +1075,7 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 			}
 		}
 		if nTier == nBlocks {
+			s.tenantHits(server, volume, int64(nBlocks))
 			if tr != nil {
 				tr.Hits = nBlocks
 				tr.TierHits = nBlocks
@@ -1124,6 +1197,9 @@ func (s *Store) ReadAt(server, volume int, p []byte, off uint64) (err error) {
 		sh.mu.Unlock()
 		lo = hi
 	}
+	// Hits include tier-served blocks (skipped from shard classification)
+	// — everything the request found already cached.
+	s.tenantHits(server, volume, int64(nBlocks-len(mine)-len(joined)))
 	if tr != nil {
 		tr.Misses = len(mine)
 		tr.Coalesced = len(joined)
@@ -1285,10 +1361,12 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	s.tenantTick()
 	now := s.now()
 	nBlocks := len(p) / block.Size
 	first := off / block.Size
 	s.logAccess(server, volume, first, nBlocks)
+	s.tenantAccess(server, volume, int64(nBlocks), true)
 
 	groups := s.groupByShard(server, volume, first, nBlocks)
 	flights := make([]*flight, nBlocks)
@@ -1350,6 +1428,7 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 			g.sh.completeLocked(server, volume, first, g.idxs, flights, p, werr)
 			g.sh.mu.Unlock()
 		}
+		s.tenantHits(server, volume, int64(hits))
 		if tr != nil {
 			tr.Hits = hits
 			tr.Misses = nBlocks - hits
@@ -1393,6 +1472,7 @@ func (s *Store) WriteAt(server, volume int, p []byte, off uint64) (err error) {
 		}
 		g.sh.mu.Unlock()
 	}
+	s.tenantHits(server, volume, int64(hits))
 	if tr != nil {
 		tr.Hits = hits
 		tr.Misses = nBlocks - hits
@@ -1898,11 +1978,25 @@ func (s *Store) rotateStaged() (committed bool, err error) {
 		}
 	}
 
+	// Quotas repartition at every epoch boundary: the ending epoch's
+	// per-tenant hits are the freshest demand signal, and the selection
+	// clip below then runs against the new split.
+	if s.acct != nil {
+		s.acct.Repartition(s.now())
+	}
+
 	// Stage 1: reduce the logs and select the new set — no locks held.
 	selected, err := s.logger.Select(s.opts.DThreshold)
 	if err != nil {
 		disarm()
 		return false, err
+	}
+	// Tenant quotas clip the hottest-first selection before the capacity
+	// cut: each tenant keeps at most its quota blocks, so a churning
+	// tenant's one-hit wonders cannot consume capacity slots a stable
+	// tenant's (cooler but reused) blocks would fill.
+	if s.acct != nil {
+		selected, _ = s.acct.ClipSelection(selected)
 	}
 	total := 0
 	for _, sh := range s.shards {
@@ -1937,13 +2031,36 @@ func (s *Store) rotateStaged() (committed bool, err error) {
 	// off-lock, in contiguous multi-block runs with bounded parallelism.
 	// (Residency only shrinks while rotating: VariantD admits solely at
 	// epoch boundaries, so "need" cannot grow stale the dangerous way.)
+	// A hard-throttled tenant's endurance budget caps how many *new*
+	// installs this epoch may fetch on its behalf: blocks past the
+	// allowance stay unselected (counted as tenant clips) — retained
+	// residents cost no SSD writes and are unaffected.
+	var allow map[tenant.ID]int64
+	if s.acct.EnduranceEnabled() {
+		allow = make(map[tenant.ID]int64)
+	}
+	rotNow := s.now()
 	var need []block.Key
 	for si, sh := range s.shards {
 		sh.mu.Lock()
 		for _, k := range perShard[si] {
-			if !sh.tags.Contains(k) {
-				need = append(need, k)
+			if sh.tags.Contains(k) {
+				continue
 			}
+			if allow != nil {
+				id := tenant.IDOf(k)
+				left, seen := allow[id]
+				if !seen {
+					left = s.acct.AllowanceBlocks(id, rotNow)
+				}
+				if left <= 0 {
+					allow[id] = 0
+					s.acct.NoteClip(id, 1)
+					continue
+				}
+				allow[id] = left - 1
+			}
+			need = append(need, k)
 		}
 		sh.mu.Unlock()
 	}
@@ -2078,6 +2195,7 @@ func (s *Store) Invalidate(server, volume int, off uint64, length int) (int, err
 			g.sh.tags.Remove(key)
 			g.sh.recycleLocked(g.sh.frames[key])
 			delete(g.sh.frames, key)
+			g.sh.tenantEvict(key)
 			dropped++
 		}
 		g.sh.mu.Unlock()

@@ -134,6 +134,49 @@ func TestSieveCAllocatesOnlyAfterThresholds(t *testing.T) {
 	}
 }
 
+// TestSieveCShouldAllocateNPenalty pins the QoS hook semantics: extra
+// raises only the final allocation threshold (T2+extra), the counters
+// keep accumulating regardless, and a deny-level extra (beyond the
+// uint16 counter saturation) can never be crossed — yet the first
+// unpenalized miss afterwards allocates immediately, because nothing
+// was forgotten while the tenant was penalized.
+func TestSieveCShouldAllocateNPenalty(t *testing.T) {
+	// extra=2 moves the allocating miss from 12 (see
+	// TestSieveCAllocatesOnlyAfterThresholds) to 14.
+	s := sieveCFor(t, 1<<16)
+	allocAt := 0
+	for i := 1; i <= 20; i++ {
+		if s.ShouldAllocateN(acc(int64(i)*1e9, 42, block.Read), 2) {
+			allocAt = i
+			break
+		}
+	}
+	if allocAt != 14 {
+		t.Errorf("allocated at miss %d with extra=2, want 14", allocAt)
+	}
+
+	// Deny streak: 40 penalized misses never allocate, then one
+	// unpenalized miss allocates instantly.
+	s = sieveCFor(t, 1<<16)
+	for i := 1; i <= 40; i++ {
+		if s.ShouldAllocateN(acc(int64(i)*1e9, 42, block.Read), 1<<20) {
+			t.Fatalf("denied miss %d allocated", i)
+		}
+	}
+	if !s.ShouldAllocateN(acc(41*1e9, 42, block.Read), 0) {
+		t.Error("first unpenalized miss after a deny streak should allocate")
+	}
+
+	// extra=0 must be ShouldAllocate, decision for decision.
+	a, b := sieveCFor(t, 1<<16), sieveCFor(t, 1<<16)
+	for i := 1; i <= 30; i++ {
+		ac := acc(int64(i)*1e9, uint64(i%3), block.Read)
+		if a.ShouldAllocate(ac) != b.ShouldAllocateN(ac, 0) {
+			t.Fatalf("miss %d: ShouldAllocate diverges from ShouldAllocateN(…, 0)", i)
+		}
+	}
+}
+
 func TestSieveCLowReuseNeverAllocated(t *testing.T) {
 	// A large-enough IMCT that aliasing is essentially absent for this
 	// population: 500 blocks over 2^20 slots.

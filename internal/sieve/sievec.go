@@ -185,6 +185,17 @@ func (s *C) hash(key block.Key) int {
 // precisely in the MCT, and once its precise count reaches T2 the block is
 // allocated. Allocation resets the block's precise state.
 func (s *C) ShouldAllocate(acc block.Access) bool {
+	return s.ShouldAllocateN(acc, 0)
+}
+
+// ShouldAllocateN is ShouldAllocate with the allocation threshold raised
+// by extra: the block allocates only once its precise count reaches
+// T2+extra. The multi-tenant layer uses it to penalize (or, with an
+// unreachable extra, effectively deny) a throttled tenant while its
+// counters keep accumulating — window counters saturate at 65535, so an
+// extra at or beyond that can never be crossed — and admission resumes at
+// full speed the moment the penalty is lifted.
+func (s *C) ShouldAllocateN(acc block.Access, extra int) bool {
 	s.stats.Misses++
 	win := acc.Time / s.subNanos
 	s.maybePrune(win)
@@ -201,7 +212,7 @@ func (s *C) ShouldAllocate(acc block.Access) bool {
 		s.mct[acc.Key] = entry
 		s.stats.Promotions++
 	}
-	if entry.bump(win, s.cfg.Subwindows) < s.cfg.T2 {
+	if entry.bump(win, s.cfg.Subwindows) < s.cfg.T2+extra {
 		return false
 	}
 	delete(s.mct, acc.Key)
